@@ -1,0 +1,38 @@
+// Shared scaffolding for the experiment benches.
+//
+// Every bench binary prints its experiment table(s) first — the rows a paper
+// would report — and then hands over to google-benchmark for wall-time
+// microbenchmarks of the same workloads. ABE_BENCH_MAIN wires that order.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "stats/table.h"
+
+namespace abe::benchutil {
+
+// Experiment-table phase; each bench defines its own.
+void print_experiment_tables();
+
+inline void print_header(const char* id, const char* claim) {
+  std::printf("\n############################################################\n");
+  std::printf("# Experiment %s\n# Paper claim: %s\n", id, claim);
+  std::printf("############################################################\n\n");
+}
+
+}  // namespace abe::benchutil
+
+#define ABE_BENCH_MAIN()                                          \
+  int main(int argc, char** argv) {                               \
+    ::abe::benchutil::print_experiment_tables();                  \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                   \
+    }                                                             \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }

@@ -1,0 +1,81 @@
+// Sensor-network scenario — the paper's motivating deployment.
+//
+//   ./sensor_network --n 32 --p 0.6 --drift 1.5 --seed 7
+//
+// Radio links lose packets (per-attempt success probability p), so the
+// MAC layer retransmits: the message delay is unbounded, but its mean is
+// slot/p — exactly the ABE situation of paper Section 1, case (iii).
+// Node oscillators drift within known bounds and the tiny CPUs take real
+// time to process events (Definition 1(2) and 1(3)).
+//
+// The example derives the ABE parameters the deployment would advertise,
+// verifies the 1/p law with the explicit ARQ protocol, and then runs the
+// anonymous election over the lossy ring.
+#include <cstdio>
+
+#include "core/abe.h"
+#include "core/analysis.h"
+#include "core/harness.h"
+#include "net/arq.h"
+#include "stats/table.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  abe::CliFlags flags(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 32));
+  const double p = flags.get_double("p", 0.6);
+  const double drift = flags.get_double("drift", 1.5);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  std::printf("=== sensor network: %zu nodes, radio success p=%.2f, "
+              "clock bound ratio %.2f ===\n\n",
+              n, p, drift);
+
+  // --- the 1/p law, measured with a real stop-and-wait ARQ -------------
+  std::printf("[1] MAC-layer retransmission (paper case iii)\n");
+  abe::Table arq_table({"p", "k_avg=1/p", "measured_attempts",
+                        "measured_latency"});
+  for (double probe : {0.9, p, 0.3}) {
+    const abe::ArqResult r = abe::run_arq_experiment(probe, 2000, 1.0, seed);
+    arq_table.add_row({abe::Table::fmt(probe, 2),
+                       abe::Table::fmt(abe::expected_transmissions(probe), 2),
+                       abe::Table::fmt(r.mean_attempts, 2),
+                       abe::Table::fmt(r.mean_latency, 2)});
+  }
+  std::printf("%s\n", arq_table.render().c_str());
+
+  // --- the ABE deployment ----------------------------------------------
+  const double slot = 1.0;
+  abe::ElectionExperiment e;
+  e.n = n;
+  e.delay = abe::geometric_retransmission_delay(p, slot);
+  e.clock_bounds = abe::ClockBounds{1.0 / drift, drift};
+  e.drift = abe::DriftModel::kPiecewiseRandom;
+  e.processing = abe::ProcessingModel::exponential(0.05);
+  e.election.a0 = abe::linear_regime_a0(n);
+  e.seed = seed;
+  e.settle_time = 50.0;
+
+  std::printf("[2] advertised ABE parameters: delta=%.3f (slot/p), "
+              "s in [%.3f, %.3f], gamma=0.05\n",
+              abe::expected_retransmission_delay(p, slot), 1.0 / drift,
+              drift);
+  std::printf("    worst-case delay: unbounded — an ABD deployment is "
+              "impossible here.\n\n");
+
+  std::printf("[3] anonymous leader election over the lossy ring\n");
+  const abe::ElectionRunResult result = abe::run_election(e);
+  if (!result.elected) {
+    std::printf("    no leader before deadline\n");
+    return 1;
+  }
+  std::printf("    leader: node %zu after %.1f time units, %llu messages "
+              "(%.2f per node)\n",
+              result.leader_index, result.election_time,
+              static_cast<unsigned long long>(result.messages),
+              static_cast<double>(result.messages) / n);
+  std::printf("    safety: %s\n",
+              result.safety_ok ? "ok" : result.safety_detail.c_str());
+  return result.safety_ok ? 0 : 2;
+}

@@ -1,0 +1,82 @@
+// Synchronizer demo — Theorem 1 in action.
+//
+//   ./synchronizer_demo --rows 4 --cols 4 --rounds 20 --mult 1.5
+//
+// Runs the same synchronous broadcast app three ways on a grid:
+//   1. the ideal lock-step executor (ground truth),
+//   2. Awerbuch's α-synchronizer over an ABE network (correct, but pays
+//      ≥ n messages per round — Theorem 1's floor),
+//   3. the Tel–Korach–Zaks ABD synchronizer over the same ABE network
+//      (zero overhead, but late messages silently corrupt the run).
+#include <cstdio>
+
+#include "net/topology.h"
+#include "stats/table.h"
+#include "syncr/abd_sync.h"
+#include "syncr/alpha.h"
+#include "syncr/apps.h"
+#include "syncr/sync_runner.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  abe::CliFlags flags(argc, argv);
+  const std::size_t rows = static_cast<std::size_t>(flags.get_int("rows", 4));
+  const std::size_t cols = static_cast<std::size_t>(flags.get_int("cols", 4));
+  const std::uint64_t rounds =
+      static_cast<std::uint64_t>(flags.get_int("rounds", 20));
+  const double mult = flags.get_double("mult", 1.5);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 5));
+
+  const abe::Topology topology = abe::grid(rows, cols);
+  const auto factory = abe::broadcast_app_factory(0);
+  const auto delay = abe::exponential_delay(1.0);
+
+  std::printf("broadcast from node 0 on a %zux%zu grid (n=%zu, |E|=%zu), "
+              "%llu rounds, exponential delays (mean 1)\n\n",
+              rows, cols, topology.n, topology.edge_count(),
+              static_cast<unsigned long long>(rounds));
+
+  const auto reference = abe::run_synchronous(topology, factory, rounds);
+  const auto alpha =
+      abe::run_alpha_synchronizer(topology, factory, rounds, delay, seed);
+  const auto abd = abe::run_abd_synchronizer(topology, factory, rounds,
+                                             delay, mult, seed);
+
+  abe::Table table({"executor", "msgs/round", "late_msgs", "outputs_ok"});
+  table.add_row({"lock-step reference",
+                 abe::Table::fmt(static_cast<double>(reference.messages_sent) /
+                                     static_cast<double>(rounds), 2),
+                 "-", "yes (definition)"});
+  table.add_row({"alpha synchronizer",
+                 abe::Table::fmt(alpha.messages_per_round, 2), "0",
+                 alpha.outputs == reference.outputs ? "yes" : "NO"});
+  table.add_row({"ABD synchronizer (P=" + abe::Table::fmt(mult, 2) +
+                     "*delta)",
+                 abe::Table::fmt(abd.messages_per_round, 2),
+                 abe::Table::fmt_int(
+                     static_cast<std::int64_t>(abd.late_messages)),
+                 abd.outputs_match_reference ? "yes (got lucky)" : "NO"});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Theorem 1: synchronising an ABE network needs >= n = %zu "
+              "messages/round. The alpha row pays |E| = %zu; the ABD row "
+              "pays only the app's own messages — and corrupts the run "
+              "whenever a delay overshoots its round window.\n",
+              topology.n, topology.edge_count());
+
+  std::printf("\nper-node BFS depth (reference vs ABD):\n");
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t i = r * cols + c;
+      std::printf("%3lld/%-3lld",
+                  static_cast<long long>(reference.outputs[i]),
+                  static_cast<long long>(abd.outputs[i]));
+    }
+    std::printf("\n");
+  }
+  std::printf("(a '/x' mismatch or a -1 on the right marks silent "
+              "corruption by the ABD synchronizer)\n");
+  return 0;
+}

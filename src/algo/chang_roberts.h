@@ -1,0 +1,91 @@
+// Chang–Roberts leader election for unidirectional rings with unique ids.
+//
+// The classic non-anonymous baseline: every node sends its id; a node
+// forwards ids larger than its own, purges smaller ones, and is elected when
+// its own id returns. Average message complexity Θ(n log n), worst case
+// Θ(n²). It contrasts the paper's anonymous ABE election on two axes at
+// once: it needs unique identities (which the ABE model does not grant) and
+// it still pays the super-linear message bill.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/network.h"
+#include "net/node.h"
+#include "stats/summary.h"
+
+namespace abe {
+
+class CrToken final : public Payload {
+ public:
+  explicit CrToken(std::uint64_t id) : id_(id) {}
+  std::uint64_t id() const { return id_; }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<CrToken>(id_);
+  }
+  std::string describe() const override {
+    return "CR(" + std::to_string(id_) + ")";
+  }
+
+ private:
+  std::uint64_t id_;
+};
+
+class ChangRobertsNode final : public Node {
+ public:
+  // `id` must be unique in the ring.
+  ChangRobertsNode(std::uint64_t id,
+                   std::function<void(NodeId, SimTime)> on_leader);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, std::size_t in_index,
+                  const Payload& payload) override;
+
+  std::string state_string() const override;
+  bool is_terminated() const override { return leader_; }
+
+  bool is_leader() const { return leader_; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::uint64_t id_;
+  std::function<void(NodeId, SimTime)> on_leader_;
+  bool passive_ = false;
+  bool leader_ = false;
+};
+
+struct CrExperiment {
+  std::size_t n = 8;
+  std::string delay_name = "exponential";
+  double mean_delay = 1.0;
+  ChannelOrdering ordering = ChannelOrdering::kArbitrary;
+  // Ids are a random permutation of {1..n} (the average-case assumption
+  // behind the Θ(n log n) bound).
+  std::uint64_t seed = 1;
+  SimTime deadline = 1e7;
+};
+
+struct CrResult {
+  bool elected = false;
+  std::size_t leader_index = 0;
+  SimTime election_time = 0.0;
+  std::uint64_t messages = 0;
+  bool safety_ok = false;
+};
+
+CrResult run_chang_roberts(const CrExperiment& experiment);
+
+struct CrAggregate {
+  Summary messages;
+  Summary time;
+  std::uint64_t failures = 0;
+  std::uint64_t safety_violations = 0;
+};
+
+CrAggregate run_chang_roberts_trials(CrExperiment experiment,
+                                     std::uint64_t trials,
+                                     std::uint64_t seed_base = 1);
+
+}  // namespace abe

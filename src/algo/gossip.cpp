@@ -1,0 +1,79 @@
+#include "algo/gossip.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace abe {
+
+GossipNode::GossipNode(bool initially_informed)
+    : informed_(initially_informed) {}
+
+void GossipNode::on_tick(Context& ctx, std::uint64_t /*tick*/) {
+  if (!informed_ || ctx.out_degree() == 0) return;
+  const std::size_t target = ctx.rng().uniform_int(ctx.out_degree());
+  ++pushes_;
+  ctx.send(target, std::make_unique<RumorPayload>());
+}
+
+void GossipNode::on_message(Context& ctx, std::size_t /*in_index*/,
+                            const Payload& payload) {
+  payload_as<RumorPayload>(payload);  // type check
+  if (!informed_) {
+    informed_ = true;
+    informed_at_ = ctx.real_now();
+  }
+}
+
+std::string GossipNode::state_string() const {
+  std::ostringstream os;
+  os << (informed_ ? "informed" : "susceptible") << " pushes=" << pushes_;
+  return os.str();
+}
+
+GossipResult run_gossip(const GossipExperiment& experiment) {
+  validate_topology(experiment.topology);
+  ABE_CHECK_LT(experiment.source, experiment.topology.n);
+
+  NetworkConfig config;
+  config.topology = experiment.topology;
+  config.delay =
+      make_delay_model(experiment.delay_name, experiment.mean_delay);
+  config.clock_bounds = experiment.clock_bounds;
+  config.drift = experiment.drift;
+  config.enable_ticks = true;
+  config.seed = experiment.seed;
+
+  Network net(std::move(config));
+  net.build_nodes([&](std::size_t i) -> NodePtr {
+    return std::make_unique<GossipNode>(i == experiment.source);
+  });
+  net.start();
+
+  auto all_informed = [&] {
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (!static_cast<const GossipNode&>(net.node(i)).informed()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  GossipResult result;
+  result.all_informed = net.run_until(all_informed, experiment.deadline);
+  result.messages = net.metrics().messages_sent;
+  if (!result.all_informed) return result;
+
+  Summary inform_times;
+  SimTime last = 0.0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& node = static_cast<const GossipNode&>(net.node(i));
+    inform_times.add(node.informed_at());
+    last = std::max(last, node.informed_at());
+  }
+  result.spread_time = last;
+  result.mean_inform_time = inform_times.mean();
+  return result;
+}
+
+}  // namespace abe

@@ -1,0 +1,119 @@
+// Itai–Rodeh probabilistic leader election for anonymous unidirectional
+// rings of known size n (Itai & Rodeh, Inf. Comput. 1990 — reference [4] of
+// the paper), in the round-numbered asynchronous formulation.
+//
+// This is the baseline the paper positions its ABE election against: IR has
+// expected O(n log n) messages (O(log n) rounds of up-to-n-hop tokens),
+// whereas the ABE election achieves expected O(n) messages by exploiting the
+// known bound on the expected delay. Bench E2 overlays the two curves.
+//
+// Algorithm sketch (per candidate):
+//   each round: draw id ∈ {1..R}, send token (round, id, hop=1, clean=true);
+//   on receiving (round', id', hop, clean):
+//     own token back (round'=round, id'=id, hop=n): clean ? leader
+//                                                         : next round;
+//     (round', id') > (round, id) lexicographically: become passive, forward;
+//     (round', id') < (round, id): purge;
+//     equal but hop < n (tie): forward with clean=false.
+//   passive nodes forward every token with hop+1.
+//
+// Channels should be FIFO (the classic setting); the round numbers make the
+// algorithm robust in practice and tests also exercise arbitrary order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/network.h"
+#include "net/node.h"
+#include "stats/summary.h"
+
+namespace abe {
+
+class IrToken final : public Payload {
+ public:
+  IrToken(std::uint64_t round, std::uint64_t id, std::uint64_t hop,
+          bool clean)
+      : round_(round), id_(id), hop_(hop), clean_(clean) {}
+  std::uint64_t round() const { return round_; }
+  std::uint64_t id() const { return id_; }
+  std::uint64_t hop() const { return hop_; }
+  bool clean() const { return clean_; }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<IrToken>(round_, id_, hop_, clean_);
+  }
+  std::string describe() const override;
+
+ private:
+  std::uint64_t round_;
+  std::uint64_t id_;
+  std::uint64_t hop_;
+  bool clean_;
+};
+
+struct IrOptions {
+  // Ids are drawn uniformly from {1..id_range}; 0 means "use n".
+  std::uint64_t id_range = 0;
+  // Invoked once when this node becomes leader.
+  std::function<void(NodeId, SimTime)> on_leader;
+};
+
+class ItaiRodehNode final : public Node {
+ public:
+  explicit ItaiRodehNode(IrOptions options);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, std::size_t in_index,
+                  const Payload& payload) override;
+
+  std::string state_string() const override;
+  bool is_terminated() const override { return leader_; }
+
+  bool is_leader() const { return leader_; }
+  bool is_passive() const { return passive_; }
+  std::uint64_t round() const { return round_; }
+
+ private:
+  void start_round(Context& ctx);
+
+  IrOptions options_;
+  bool passive_ = false;
+  bool leader_ = false;
+  std::uint64_t round_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+struct IrExperiment {
+  std::size_t n = 8;
+  std::string delay_name = "exponential";
+  double mean_delay = 1.0;
+  ChannelOrdering ordering = ChannelOrdering::kFifo;
+  std::uint64_t seed = 1;
+  SimTime deadline = 1e7;
+};
+
+struct IrResult {
+  bool elected = false;
+  std::size_t leader_index = 0;
+  SimTime election_time = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;  // rounds reached by the eventual leader
+  bool safety_ok = false;
+};
+
+IrResult run_itai_rodeh(const IrExperiment& experiment);
+
+struct IrAggregate {
+  Summary messages;
+  Summary time;
+  Summary rounds;
+  std::uint64_t failures = 0;
+  std::uint64_t safety_violations = 0;
+};
+
+IrAggregate run_itai_rodeh_trials(IrExperiment experiment,
+                                  std::uint64_t trials,
+                                  std::uint64_t seed_base = 1);
+
+}  // namespace abe

@@ -1,0 +1,39 @@
+#include "core/abe.h"
+
+#include <sstream>
+
+#include "net/network.h"
+#include "util/check.h"
+
+namespace abe {
+
+void AbeParams::validate() const {
+  ABE_CHECK_GT(delta, 0.0);
+  ABE_CHECK_GE(gamma, 0.0);
+  clocks.validate();
+}
+
+std::string AbeParams::to_string() const {
+  std::ostringstream os;
+  os << "AbeParams{delta=" << delta << ", s_low=" << clocks.s_low
+     << ", s_high=" << clocks.s_high << ", gamma=" << gamma << "}";
+  return os.str();
+}
+
+AbeParams abe_params_of(const Network& net) {
+  AbeParams params;
+  params.delta = net.expected_delay_bound();
+  params.clocks = net.config().clock_bounds;
+  params.gamma = net.config().processing.mean;
+  params.validate();
+  return params;
+}
+
+bool is_abd(const Network& net) {
+  // Every channel must have a sure worst-case delay. The config-wide model
+  // is authoritative unless overridden; expected_delay_bound() covers the
+  // mean, so inspect the default model here.
+  return net.config().delay && net.config().delay->bounded();
+}
+
+}  // namespace abe

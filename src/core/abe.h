@@ -1,0 +1,45 @@
+// The ABE network model (Definition 1 of the paper).
+//
+// An ABE network is an asynchronous network together with three *known*
+// bounds:
+//   δ      — bound on the expected message delay,
+//   s_low, s_high — bounds on local clock speed,
+//   γ      — bound on the expected local event-processing time.
+// Nothing about worst cases is assumed: every asynchronous execution is an
+// ABE execution, but executions with very long delays are improbable.
+//
+// AbeParams packages those knowns; abe_params_of(Network) derives them from
+// a configured network (what a deployment would measure/specify), and
+// is_abd(Network) detects the stricter classic ABD case.
+#pragma once
+
+#include <string>
+
+#include "clock/local_clock.h"
+
+namespace abe {
+
+class Network;
+
+// The knowledge an ABE algorithm is allowed to use.
+struct AbeParams {
+  double delta = 1.0;   // bound on expected message delay
+  ClockBounds clocks{};  // s_low, s_high
+  double gamma = 0.0;   // bound on expected processing time
+
+  // Aborts unless δ > 0, γ >= 0 and the clock bounds are sane.
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+// Extracts the ABE parameters a deployment of `net` would advertise: δ is
+// the max per-channel mean delay, the clock bounds come from the config, γ
+// from the processing model.
+AbeParams abe_params_of(const Network& net);
+
+// True when the network additionally satisfies the ABD model: all channel
+// delay models are bounded (a worst-case delay exists surely).
+bool is_abd(const Network& net);
+
+}  // namespace abe

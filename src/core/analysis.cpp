@@ -1,0 +1,51 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace abe {
+
+double expected_transmissions(double p) {
+  ABE_CHECK_GT(p, 0.0);
+  ABE_CHECK_LE(p, 1.0);
+  return 1.0 / p;
+}
+
+double retransmission_tail(double p, std::uint64_t k) {
+  ABE_CHECK_GT(p, 0.0);
+  ABE_CHECK_LE(p, 1.0);
+  return std::pow(1.0 - p, static_cast<double>(k));
+}
+
+double activation_probability(double a0, std::uint64_t d) {
+  ABE_CHECK_GT(a0, 0.0);
+  ABE_CHECK_LT(a0, 1.0);
+  ABE_CHECK_GE(d, 1u);
+  return 1.0 - std::pow(1.0 - a0, static_cast<double>(d));
+}
+
+double combined_activation_probability(double a0, const std::uint64_t* gaps,
+                                       std::size_t count) {
+  ABE_CHECK_GT(a0, 0.0);
+  ABE_CHECK_LT(a0, 1.0);
+  double none = 1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // P(node i stays idle) = (1−A0)^{d_i}; independence multiplies.
+    none *= std::pow(1.0 - a0, static_cast<double>(gaps[i]));
+  }
+  return 1.0 - none;
+}
+
+double expected_ticks_to_activation(double q) {
+  ABE_CHECK_GT(q, 0.0);
+  ABE_CHECK_LE(q, 1.0);
+  return 1.0 / q;
+}
+
+double expected_retransmission_delay(double p, double slot) {
+  ABE_CHECK_GT(slot, 0.0);
+  return expected_transmissions(p) * slot;
+}
+
+}  // namespace abe

@@ -1,0 +1,40 @@
+// Closed-form quantities from the paper, used by tests and benches as the
+// "paper says" side of every comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace abe {
+
+// Section 1, case (iii): expected number of transmissions over a channel
+// with per-attempt success probability p:
+//   k_avg = Σ_{k>=0} (k+1)·(1−p)^k·p = 1/p.
+double expected_transmissions(double p);
+
+// Probability that a message needs more than k retransmissions: (1−p)^k.
+// Shows the delay is unbounded for every p < 1.
+double retransmission_tail(double p, std::uint64_t k);
+
+// Section 3: activation probability of an idle node with gap counter d,
+// base parameter A0:  1 − (1−A0)^d.
+double activation_probability(double a0, std::uint64_t d);
+
+// The design invariant behind the adaptive probability: for idle nodes whose
+// gap counters d_1…d_m sum to n (they partition the ring into knocked-out
+// stretches), the probability that at least one node activates in a tick is
+// exactly 1 − (1−A0)^n, independent of the partition. This function computes
+// that combined probability for an arbitrary list of gaps.
+double combined_activation_probability(double a0, const std::uint64_t* gaps,
+                                       std::size_t count);
+
+// Expected number of ticks until at least one of the nodes (with combined
+// activation probability q) activates: 1/q.
+double expected_ticks_to_activation(double q);
+
+// Expected delay of a channel whose per-slot success probability is p and
+// slot time is `slot`: slot/p (the paper's average message delay for the
+// retransmission case).
+double expected_retransmission_delay(double p, double slot);
+
+}  // namespace abe

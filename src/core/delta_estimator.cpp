@@ -1,0 +1,41 @@
+#include "core/delta_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace abe {
+
+DeltaEstimator::DeltaEstimator(DeltaEstimatorOptions options)
+    : options_(options) {
+  ABE_CHECK_GT(options_.alpha, 0.0);
+  ABE_CHECK_LE(options_.alpha, 1.0);
+  ABE_CHECK_GE(options_.margin_factor, 0.0);
+  ABE_CHECK_GT(options_.max_tighten_rate, 0.0);
+}
+
+void DeltaEstimator::observe(double delay) {
+  ABE_CHECK_GE(delay, 0.0);
+  ++samples_;
+  if (samples_ == 1) {
+    mean_ = delay;
+    deviation_ = delay / 2.0;
+    bound_ = mean_ + options_.margin_factor * deviation_;
+    return;
+  }
+  const double a = options_.alpha;
+  deviation_ = (1.0 - a) * deviation_ + a * std::abs(delay - mean_);
+  mean_ = (1.0 - a) * mean_ + a * delay;
+
+  const double candidate = mean_ + options_.margin_factor * deviation_;
+  if (candidate >= bound_) {
+    bound_ = candidate;  // widen immediately — the safe direction
+  } else {
+    // Tighten gently so a brief lull cannot collapse the bound.
+    bound_ = std::max(candidate,
+                      bound_ * (1.0 - options_.max_tighten_rate));
+  }
+}
+
+}  // namespace abe

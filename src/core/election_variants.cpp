@@ -1,0 +1,46 @@
+#include "core/election_variants.h"
+
+#include <algorithm>
+
+#include "core/analysis.h"
+#include "util/check.h"
+
+namespace abe {
+
+const char* activation_policy_name(ActivationPolicy p) {
+  switch (p) {
+    case ActivationPolicy::kAdaptive:
+      return "adaptive";
+    case ActivationPolicy::kConstant:
+      return "constant";
+    case ActivationPolicy::kLinear:
+      return "linear";
+  }
+  return "?";
+}
+
+ActivationPolicy activation_policy_from_name(const std::string& name) {
+  if (name == "adaptive") return ActivationPolicy::kAdaptive;
+  if (name == "constant") return ActivationPolicy::kConstant;
+  if (name == "linear") return ActivationPolicy::kLinear;
+  ABE_CHECK(false) << "unknown activation policy '" << name << "'";
+  return ActivationPolicy::kAdaptive;
+}
+
+double activation_probability_for(ActivationPolicy policy, double a0,
+                                  std::uint64_t d) {
+  ABE_CHECK_GT(a0, 0.0);
+  ABE_CHECK_LT(a0, 1.0);
+  ABE_CHECK_GE(d, 1u);
+  switch (policy) {
+    case ActivationPolicy::kAdaptive:
+      return activation_probability(a0, d);
+    case ActivationPolicy::kConstant:
+      return a0;
+    case ActivationPolicy::kLinear:
+      return std::min(1.0, a0 * static_cast<double>(d));
+  }
+  return a0;
+}
+
+}  // namespace abe

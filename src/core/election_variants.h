@@ -1,0 +1,34 @@
+// Activation policies: the paper's adaptive rule plus ablation variants.
+//
+// The paper's key design point is the *adaptive* activation probability
+// 1 − (1−A0)^d. The variants below keep everything else identical so bench
+// E9 can isolate the effect of that single choice:
+//   kConstant — always A0, ignoring d. The combined wake-up probability of
+//               the surviving idle nodes *decays* as nodes are knocked out,
+//               so late phases stall and total time degrades.
+//   kLinear   — min(1, A0·d), a naive compensation that overshoots: it
+//               raises collision rates early (more concurrent candidates,
+//               more purged messages).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace abe {
+
+enum class ActivationPolicy : std::uint8_t {
+  kAdaptive,  // 1 − (1−A0)^d   (the paper's rule)
+  kConstant,  // A0
+  kLinear,    // min(1, A0·d)
+};
+
+const char* activation_policy_name(ActivationPolicy p);
+
+// Parses "adaptive" | "constant" | "linear"; aborts on unknown names.
+ActivationPolicy activation_policy_from_name(const std::string& name);
+
+// Activation probability of an idle node with gap counter d under `policy`.
+double activation_probability_for(ActivationPolicy policy, double a0,
+                                  std::uint64_t d);
+
+}  // namespace abe

@@ -1,0 +1,151 @@
+#include "core/harness.h"
+
+#include <sstream>
+
+#include "core/abe.h"
+#include "net/topology.h"
+#include "util/check.h"
+
+namespace abe {
+
+namespace {
+
+// Watches state changes via the node counters; the run loop polls this
+// through the cheap leader_count below rather than scanning all nodes.
+struct LeaderWatch : ElectionObserver {
+  std::uint64_t leader_count = 0;
+  std::uint64_t max_simultaneous = 0;
+  std::size_t last_leader = 0;
+
+  void on_state_change(NodeId node, ElectionState /*from*/, ElectionState to,
+                       SimTime /*when*/) override {
+    if (to == ElectionState::kLeader) {
+      ++leader_count;
+      max_simultaneous = std::max(max_simultaneous, leader_count);
+      last_leader = static_cast<std::size_t>(node.value());
+    }
+  }
+};
+
+}  // namespace
+
+ElectionRunResult run_election(const ElectionExperiment& experiment) {
+  ABE_CHECK_GE(experiment.n, 1u);
+
+  NetworkConfig config;
+  config.topology = unidirectional_ring(experiment.n);
+  config.delay = experiment.delay
+                     ? experiment.delay
+                     : make_delay_model(experiment.delay_name,
+                                        experiment.mean_delay);
+  config.ordering = experiment.ordering;
+  config.clock_bounds = experiment.clock_bounds;
+  config.drift = experiment.drift;
+  config.processing = experiment.processing;
+  config.enable_ticks = true;
+  config.seed = experiment.seed;
+
+  Network net(std::move(config));
+  if (experiment.trace) net.trace().enable();
+
+  LeaderWatch watch;
+  ElectionOptions options = experiment.election;
+  options.observer = &watch;
+  net.build_nodes([&](std::size_t) -> NodePtr {
+    return std::make_unique<ElectionNode>(options);
+  });
+  net.start();
+
+  ElectionRunResult result;
+  const bool elected = net.run_until(
+      [&] { return watch.leader_count > 0; }, experiment.deadline);
+
+  if (!elected) {
+    result.elected = false;
+    result.safety_ok = false;
+    result.safety_detail = "no leader before deadline";
+    return result;
+  }
+
+  result.elected = true;
+  result.leader_index = watch.last_leader;
+  result.election_time = net.now();
+  result.messages = net.metrics().messages_sent;
+  result.ticks = net.metrics().ticks_fired;
+
+  // Let the network settle to show no second leader appears and nothing
+  // keeps circulating.
+  if (experiment.settle_time > 0.0) {
+    net.run_until([] { return false; }, net.now() + experiment.settle_time);
+  }
+  result.messages_total = net.metrics().messages_sent;
+  result.max_leaders_ever = watch.max_simultaneous;
+
+  // --- safety postconditions -------------------------------------------
+  std::ostringstream detail;
+  bool ok = true;
+  std::size_t leaders = 0;
+  std::size_t passives = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& node = static_cast<const ElectionNode&>(net.node(i));
+    result.activations += node.activations();
+    result.purges += node.purges();
+    switch (node.state()) {
+      case ElectionState::kLeader:
+        ++leaders;
+        break;
+      case ElectionState::kPassive:
+        ++passives;
+        break;
+      default:
+        break;
+    }
+  }
+  if (leaders != 1) {
+    ok = false;
+    detail << "expected exactly 1 leader, found " << leaders << "; ";
+  }
+  if (watch.max_simultaneous > 1) {
+    ok = false;
+    detail << "more than one leader was ever elected; ";
+  }
+  if (passives != net.size() - 1) {
+    ok = false;
+    detail << "expected " << net.size() - 1 << " passive nodes, found "
+           << passives << "; ";
+  }
+  if (net.metrics().in_flight() != 0) {
+    ok = false;
+    detail << net.metrics().in_flight() << " messages still in flight; ";
+  }
+  result.safety_ok = ok;
+  result.safety_detail = detail.str();
+  return result;
+}
+
+ElectionAggregate run_election_trials(ElectionExperiment experiment,
+                                      std::uint64_t trials,
+                                      std::uint64_t seed_base) {
+  ABE_CHECK_GT(trials, 0u);
+  ElectionAggregate agg;
+  agg.trials = trials;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    experiment.seed = seed_base + t;
+    const ElectionRunResult run = run_election(experiment);
+    if (!run.elected) {
+      ++agg.failures;
+      continue;
+    }
+    if (!run.safety_ok) {
+      ++agg.safety_violations;
+    }
+    agg.messages.add(static_cast<double>(run.messages));
+    agg.time.add(run.election_time);
+    agg.ticks.add(static_cast<double>(run.ticks));
+    agg.activations.add(static_cast<double>(run.activations));
+    agg.purges.add(static_cast<double>(run.purges));
+  }
+  return agg;
+}
+
+}  // namespace abe

@@ -1,0 +1,75 @@
+// Experiment harness for the ring election.
+//
+// One place that builds the unidirectional ring network per the experiment
+// spec, runs the election to completion, verifies the safety postconditions
+// (exactly one leader, everyone else passive, no in-flight messages), and
+// returns the measurements every bench and test consumes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/election.h"
+#include "net/network.h"
+#include "stats/summary.h"
+
+namespace abe {
+
+struct ElectionExperiment {
+  std::size_t n = 8;
+  ElectionOptions election{};
+  // Delay model by factory name (net/delay.h) with the given mean, or an
+  // explicit model in `delay` which then takes precedence.
+  std::string delay_name = "exponential";
+  double mean_delay = 1.0;
+  DelayModelPtr delay;
+  ChannelOrdering ordering = ChannelOrdering::kArbitrary;
+  ClockBounds clock_bounds{};
+  DriftModel drift = DriftModel::kNone;
+  ProcessingModel processing = ProcessingModel::zero();
+  std::uint64_t seed = 1;
+  // Give up (and report failure) past this simulated time.
+  SimTime deadline = 1e7;
+  // Extra simulated time after the election used to confirm stability
+  // (no second leader can appear; the network stays quiet).
+  SimTime settle_time = 0.0;
+  // Enable trace recording (tests only; slows large runs).
+  bool trace = false;
+};
+
+struct ElectionRunResult {
+  bool elected = false;
+  std::size_t leader_index = 0;
+  SimTime election_time = 0.0;     // real time at which the leader appeared
+  std::uint64_t messages = 0;      // messages sent up to the election moment
+  std::uint64_t messages_total = 0;  // including the settle window
+  std::uint64_t ticks = 0;         // clock ticks fired up to the election
+  std::uint64_t activations = 0;   // activations summed over nodes
+  std::uint64_t purges = 0;        // knockout purges summed over nodes
+  std::uint64_t max_leaders_ever = 0;  // safety: must never exceed 1
+  bool safety_ok = false;          // postcondition bundle (see .cpp)
+  std::string safety_detail;       // human-readable failure reason
+};
+
+// Runs one election. Aborts only on internal invariant violations; model
+// level safety results are reported in the result for tests to assert on.
+ElectionRunResult run_election(const ElectionExperiment& experiment);
+
+struct ElectionAggregate {
+  Summary messages;      // per-trial messages until election
+  Summary time;          // per-trial election_time
+  Summary ticks;
+  Summary activations;
+  Summary purges;
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;  // trials that missed the deadline
+  std::uint64_t safety_violations = 0;
+};
+
+// Runs `trials` independent elections with seeds seed_base, seed_base+1, ….
+ElectionAggregate run_election_trials(ElectionExperiment experiment,
+                                      std::uint64_t trials,
+                                      std::uint64_t seed_base = 1);
+
+}  // namespace abe

@@ -1,0 +1,108 @@
+#include "core/invariants.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace abe {
+
+ElectionInvariantChecker::ElectionInvariantChecker(std::size_t n)
+    : n_(n), state_(n, ElectionState::kIdle) {}
+
+void ElectionInvariantChecker::violate(const std::string& what,
+                                       SimTime when) {
+  std::ostringstream os;
+  os << "[t=" << when << "] " << what;
+  violations_.push_back(os.str());
+}
+
+void ElectionInvariantChecker::on_state_change(NodeId node,
+                                               ElectionState from,
+                                               ElectionState to,
+                                               SimTime when) {
+  ++transitions_;
+  const auto index = static_cast<std::size_t>(node.value());
+  ABE_CHECK_LT(index, n_);
+
+  if (state_[index] != from) {
+    violate("transition claims from=" +
+                std::string(election_state_name(from)) + " but node " +
+                std::to_string(index) + " was " +
+                election_state_name(state_[index]),
+            when);
+  }
+
+  // I2: passive is absorbing.
+  if (from == ElectionState::kPassive) {
+    violate("node " + std::to_string(index) + " left the passive state",
+            when);
+  }
+  // Leader is terminal too.
+  if (from == ElectionState::kLeader) {
+    violate("node " + std::to_string(index) + " left the leader state",
+            when);
+  }
+
+  // Book-keeping.
+  auto count_of = [&](ElectionState s) -> std::size_t& {
+    switch (s) {
+      case ElectionState::kLeader:
+        return leaders_;
+      case ElectionState::kPassive:
+        return passives_;
+      case ElectionState::kActive:
+        return actives_;
+      default: {
+        static std::size_t dummy;
+        dummy = 0;
+        return dummy;
+      }
+    }
+  };
+  if (from != ElectionState::kIdle) --count_of(from);
+  state_[index] = to;
+  if (to != ElectionState::kIdle) ++count_of(to);
+
+  // I1: never two leaders.
+  if (leaders_ > 1) {
+    violate("two leaders alive simultaneously", when);
+  }
+  // I4 (partial, online): once a leader exists everyone else is passive.
+  if (to == ElectionState::kLeader && passives_ != n_ - 1) {
+    violate("leader elected with only " + std::to_string(passives_) +
+                " passive nodes (expected " + std::to_string(n_ - 1) + ")",
+            when);
+  }
+}
+
+void ElectionInvariantChecker::check_token_conservation(
+    std::uint64_t tokens_minted, std::uint64_t tokens_retired,
+    std::uint64_t in_flight) {
+  // I3: minted = retired + alive; alive tokens must equal active nodes
+  // (counting the leader's just-consumed token as retired).
+  if (tokens_minted != tokens_retired + in_flight) {
+    violate("token conservation broken: minted=" +
+                std::to_string(tokens_minted) +
+                " retired=" + std::to_string(tokens_retired) +
+                " in_flight=" + std::to_string(in_flight),
+            -1.0);
+  }
+  if (in_flight != actives_) {
+    violate("live tokens (" + std::to_string(in_flight) +
+                ") != active nodes (" + std::to_string(actives_) + ")",
+            -1.0);
+  }
+}
+
+std::string ElectionInvariantChecker::report() const {
+  if (violations_.empty()) {
+    return "all invariants held (" + std::to_string(transitions_) +
+           " transitions observed)";
+  }
+  std::ostringstream os;
+  os << violations_.size() << " violation(s):\n";
+  for (const auto& v : violations_) os << "  " << v << "\n";
+  return os.str();
+}
+
+}  // namespace abe

@@ -1,0 +1,63 @@
+// Online invariant checking for the ring election.
+//
+// The correctness argument of the paper's algorithm rests on a handful of
+// global invariants. This observer tracks them *during* a run (not just in
+// the terminal configuration), so property tests catch transient
+// violations that a post-mortem check would miss:
+//
+//   I1  at most one node is ever in the leader state (safety);
+//   I2  passive is absorbing: no node ever leaves it;
+//   I3  the number of live tokens equals the number of active nodes
+//       (activation mints a token, every purge retires one, forwarding
+//       preserves) — the lemma behind "hop = n only reaches its originator";
+//   I4  the passive count never decreases and is n−1 when a leader exists.
+//
+// The checker is wired in as an ElectionObserver plus simple counters the
+// harness feeds from network metrics; `ok()`/`violations()` report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/election.h"
+
+namespace abe {
+
+class ElectionInvariantChecker final : public ElectionObserver {
+ public:
+  explicit ElectionInvariantChecker(std::size_t n);
+
+  // ElectionObserver: every node state transition, in event order.
+  void on_state_change(NodeId node, ElectionState from, ElectionState to,
+                       SimTime when) override;
+
+  // Feed from the network after the run: messages sent/purged bookkeeping.
+  // tokens_minted = Σ activations, tokens_retired = Σ purges.
+  void check_token_conservation(std::uint64_t tokens_minted,
+                                std::uint64_t tokens_retired,
+                                std::uint64_t in_flight);
+
+  // --- results ----------------------------------------------------------
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::string report() const;
+
+  std::size_t leaders_now() const { return leaders_; }
+  std::size_t passives_now() const { return passives_; }
+  std::size_t actives_now() const { return actives_; }
+  std::uint64_t transitions_seen() const { return transitions_; }
+
+ private:
+  void violate(const std::string& what, SimTime when);
+
+  std::size_t n_;
+  std::vector<ElectionState> state_;
+  std::size_t leaders_ = 0;
+  std::size_t passives_ = 0;
+  std::size_t actives_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace abe

@@ -1,0 +1,112 @@
+// Stop-and-wait ARQ over a lossy link — the substrate behind the paper's
+// case (iii) motivation.
+//
+// The paper argues that a physical channel with per-attempt success
+// probability p forces retransmission, making the delay unbounded while its
+// expectation stays 1/p transmissions. This module builds that mechanism
+// explicitly: a sender retransmits on a timeout until the (lossy) channel
+// delivers, the receiver acks, and both sides count attempts. Benches
+// compare the measured attempt count and latency against the closed forms
+// in core/analysis.h.
+//
+// Topology contract: node 0 (ArqSender) and node 1 (ArqReceiver) on a
+// bidirectional 2-node line; the data direction may drop, the ack direction
+// is configured by the caller (typically lossless).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.h"
+#include "stats/summary.h"
+
+namespace abe {
+
+// Payload carrying a sequence number; used for both DATA and ACK.
+class ArqPayload final : public Payload {
+ public:
+  enum class Kind : std::uint8_t { kData, kAck };
+  ArqPayload(Kind kind, std::uint64_t seq) : kind_(kind), seq_(seq) {}
+  Kind kind() const { return kind_; }
+  std::uint64_t seq() const { return seq_; }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<ArqPayload>(kind_, seq_);
+  }
+  std::string describe() const override;
+
+ private:
+  Kind kind_;
+  std::uint64_t seq_;
+};
+
+// Sends `total_packets` packets with stop-and-wait: transmit, arm a timeout,
+// retransmit until the matching ack arrives.
+class ArqSender final : public Node {
+ public:
+  // `timeout_local` is the retransmission timeout in local-clock units.
+  ArqSender(std::uint64_t total_packets, double timeout_local);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, std::size_t in_index,
+                  const Payload& payload) override;
+  void on_timer(Context& ctx, TimerId id, std::uint64_t tag) override;
+
+  std::string state_string() const override;
+  bool is_terminated() const override { return done_; }
+
+  // --- measurements -----------------------------------------------------
+  // Transmission attempts per acknowledged packet.
+  const Summary& attempts_per_packet() const { return attempts_; }
+  // Real time from first transmission to ack, per packet.
+  const Summary& latency_per_packet() const { return latency_; }
+  std::uint64_t packets_delivered() const { return delivered_; }
+
+ private:
+  void transmit(Context& ctx);
+
+  std::uint64_t total_packets_;
+  double timeout_local_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t attempts_current_ = 0;
+  double first_send_time_ = 0.0;
+  TimerId pending_timer_{};
+  bool waiting_ = false;
+  bool done_ = false;
+  std::uint64_t delivered_ = 0;
+  Summary attempts_;
+  Summary latency_;
+};
+
+// Acks every DATA packet; counts duplicates (retransmissions of packets whose
+// ack was lost or late).
+class ArqReceiver final : public Node {
+ public:
+  void on_message(Context& ctx, std::size_t in_index,
+                  const Payload& payload) override;
+  std::string state_string() const override { return "receiver"; }
+
+  std::uint64_t packets_received() const { return received_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  std::uint64_t next_expected_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+// Result of one ARQ experiment run (see run_arq_experiment).
+struct ArqResult {
+  double mean_attempts = 0.0;      // measured k_avg
+  double mean_latency = 0.0;       // measured per-packet delay
+  std::uint64_t packets = 0;
+  std::uint64_t duplicates = 0;
+  double predicted_attempts = 0.0;  // closed form 1/p
+};
+
+// Convenience harness: drives `packets` packets over a link that drops DATA
+// with probability (1 - p_success); acks are lossless. `slot` is both the
+// fixed one-way link delay and the retransmission timeout granularity.
+ArqResult run_arq_experiment(double p_success, std::uint64_t packets,
+                             double slot, std::uint64_t seed);
+
+}  // namespace abe

@@ -1,0 +1,286 @@
+#include "net/delay.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace abe {
+
+double DelayModel::worst_case() const {
+  return bounded() ? mean_delay() : std::numeric_limits<double>::infinity();
+}
+
+namespace {
+
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(double d) : d_(d) { ABE_CHECK_GE(d, 0.0); }
+  double sample(Rng&) const override { return d_; }
+  double mean_delay() const override { return d_; }
+  bool bounded() const override { return true; }
+  double worst_case() const override { return d_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double d_;
+};
+
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(double lo, double hi) : lo_(lo), hi_(hi) {
+    ABE_CHECK_GE(lo, 0.0);
+    ABE_CHECK_GE(hi, lo);
+  }
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean_delay() const override { return (lo_ + hi_) / 2.0; }
+  bool bounded() const override { return true; }
+  double worst_case() const override { return hi_; }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  double lo_, hi_;
+};
+
+class ExponentialDelay final : public DelayModel {
+ public:
+  explicit ExponentialDelay(double mean) : mean_(mean) {
+    ABE_CHECK_GT(mean, 0.0);
+  }
+  double sample(Rng& rng) const override { return rng.exponential(mean_); }
+  double mean_delay() const override { return mean_; }
+  std::string name() const override { return "exponential"; }
+
+ private:
+  double mean_;
+};
+
+class ShiftedExponentialDelay final : public DelayModel {
+ public:
+  ShiftedExponentialDelay(double offset, double mean_extra)
+      : offset_(offset), mean_extra_(mean_extra) {
+    ABE_CHECK_GE(offset, 0.0);
+    ABE_CHECK_GT(mean_extra, 0.0);
+  }
+  double sample(Rng& rng) const override {
+    return offset_ + rng.exponential(mean_extra_);
+  }
+  double mean_delay() const override { return offset_ + mean_extra_; }
+  std::string name() const override { return "shifted"; }
+
+ private:
+  double offset_, mean_extra_;
+};
+
+class ErlangDelay final : public DelayModel {
+ public:
+  ErlangDelay(unsigned k, double mean_total) : k_(k), mean_total_(mean_total) {
+    ABE_CHECK_GT(k, 0u);
+    ABE_CHECK_GT(mean_total, 0.0);
+  }
+  double sample(Rng& rng) const override {
+    return rng.erlang(k_, mean_total_ / k_);
+  }
+  double mean_delay() const override { return mean_total_; }
+  std::string name() const override { return "erlang"; }
+
+ private:
+  unsigned k_;
+  double mean_total_;
+};
+
+class GeometricRetransmissionDelay final : public DelayModel {
+ public:
+  GeometricRetransmissionDelay(double p, double slot) : p_(p), slot_(slot) {
+    ABE_CHECK_GT(p, 0.0);
+    ABE_CHECK_LE(p, 1.0);
+    ABE_CHECK_GT(slot, 0.0);
+  }
+  double sample(Rng& rng) const override {
+    // attempts = failures + 1; each attempt occupies one slot.
+    const double attempts =
+        static_cast<double>(rng.geometric_failures(p_) + 1);
+    return attempts * slot_;
+  }
+  double mean_delay() const override { return slot_ / p_; }
+  std::string name() const override { return "georetx"; }
+
+ private:
+  double p_, slot_;
+};
+
+class LomaxDelay final : public DelayModel {
+ public:
+  LomaxDelay(double alpha, double mean) : alpha_(alpha), mean_(mean) {
+    ABE_CHECK_GT(alpha, 1.0);
+    ABE_CHECK_GT(mean, 0.0);
+    lambda_ = mean * (alpha - 1.0);
+  }
+  double sample(Rng& rng) const override { return rng.lomax(alpha_, lambda_); }
+  double mean_delay() const override { return mean_; }
+  std::string name() const override { return "lomax"; }
+
+ private:
+  double alpha_, mean_, lambda_;
+};
+
+class BimodalDelay final : public DelayModel {
+ public:
+  BimodalDelay(double fast, double slow, double p_slow)
+      : fast_(fast), slow_(slow), p_slow_(p_slow) {
+    ABE_CHECK_GE(fast, 0.0);
+    ABE_CHECK_GE(slow, fast);
+    ABE_CHECK_GE(p_slow, 0.0);
+    ABE_CHECK_LE(p_slow, 1.0);
+  }
+  double sample(Rng& rng) const override {
+    return rng.bernoulli(p_slow_) ? slow_ : fast_;
+  }
+  double mean_delay() const override {
+    return fast_ * (1.0 - p_slow_) + slow_ * p_slow_;
+  }
+  bool bounded() const override { return true; }
+  double worst_case() const override { return slow_; }
+  std::string name() const override { return "bimodal"; }
+
+ private:
+  double fast_, slow_, p_slow_;
+};
+
+class WeibullDelay final : public DelayModel {
+ public:
+  WeibullDelay(double shape, double mean) : shape_(shape), mean_(mean) {
+    ABE_CHECK_GT(shape, 0.0);
+    ABE_CHECK_GT(mean, 0.0);
+    // mean = lambda * Gamma(1 + 1/k)  =>  lambda = mean / Gamma(1 + 1/k).
+    lambda_ = mean / std::tgamma(1.0 + 1.0 / shape);
+  }
+  double sample(Rng& rng) const override {
+    // Inverse transform: lambda * (-ln(1-u))^(1/k).
+    double u = rng.uniform01();
+    return lambda_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+  }
+  double mean_delay() const override { return mean_; }
+  std::string name() const override { return "weibull"; }
+
+ private:
+  double shape_, mean_, lambda_;
+};
+
+class LognormalDelay final : public DelayModel {
+ public:
+  LognormalDelay(double mean, double sigma) : mean_(mean), sigma_(sigma) {
+    ABE_CHECK_GT(mean, 0.0);
+    ABE_CHECK_GT(sigma, 0.0);
+    // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+    mu_ = std::log(mean) - sigma * sigma / 2.0;
+  }
+  double sample(Rng& rng) const override {
+    return std::exp(rng.normal(mu_, sigma_));
+  }
+  double mean_delay() const override { return mean_; }
+  std::string name() const override { return "lognormal"; }
+
+ private:
+  double mean_, sigma_, mu_;
+};
+
+class HyperexponentialDelay final : public DelayModel {
+ public:
+  HyperexponentialDelay(double mean_fast, double mean_slow, double p_slow)
+      : mean_fast_(mean_fast), mean_slow_(mean_slow), p_slow_(p_slow) {
+    ABE_CHECK_GT(mean_fast, 0.0);
+    ABE_CHECK_GE(mean_slow, mean_fast);
+    ABE_CHECK_GE(p_slow, 0.0);
+    ABE_CHECK_LE(p_slow, 1.0);
+  }
+  double sample(Rng& rng) const override {
+    return rng.exponential(rng.bernoulli(p_slow_) ? mean_slow_ : mean_fast_);
+  }
+  double mean_delay() const override {
+    return (1.0 - p_slow_) * mean_fast_ + p_slow_ * mean_slow_;
+  }
+  std::string name() const override { return "hyperexp"; }
+
+ private:
+  double mean_fast_, mean_slow_, p_slow_;
+};
+
+}  // namespace
+
+DelayModelPtr fixed_delay(double d) {
+  return std::make_shared<FixedDelay>(d);
+}
+DelayModelPtr uniform_delay(double lo, double hi) {
+  return std::make_shared<UniformDelay>(lo, hi);
+}
+DelayModelPtr exponential_delay(double mean) {
+  return std::make_shared<ExponentialDelay>(mean);
+}
+DelayModelPtr shifted_exponential_delay(double offset, double mean_extra) {
+  return std::make_shared<ShiftedExponentialDelay>(offset, mean_extra);
+}
+DelayModelPtr erlang_delay(unsigned k, double mean_total) {
+  return std::make_shared<ErlangDelay>(k, mean_total);
+}
+DelayModelPtr geometric_retransmission_delay(double p, double slot) {
+  return std::make_shared<GeometricRetransmissionDelay>(p, slot);
+}
+DelayModelPtr lomax_delay(double alpha, double mean) {
+  return std::make_shared<LomaxDelay>(alpha, mean);
+}
+DelayModelPtr bimodal_delay(double fast, double slow, double p_slow) {
+  return std::make_shared<BimodalDelay>(fast, slow, p_slow);
+}
+DelayModelPtr weibull_delay(double shape, double mean) {
+  return std::make_shared<WeibullDelay>(shape, mean);
+}
+DelayModelPtr lognormal_delay(double mean, double sigma) {
+  return std::make_shared<LognormalDelay>(mean, sigma);
+}
+DelayModelPtr hyperexponential_delay(double mean_fast, double mean_slow,
+                                     double p_slow) {
+  return std::make_shared<HyperexponentialDelay>(mean_fast, mean_slow,
+                                                 p_slow);
+}
+
+DelayModelPtr make_delay_model(const std::string& name, double mean) {
+  ABE_CHECK_GT(mean, 0.0);
+  if (name == "fixed") return fixed_delay(mean);
+  if (name == "uniform") return uniform_delay(0.0, 2.0 * mean);
+  if (name == "exponential") return exponential_delay(mean);
+  if (name == "shifted") {
+    return shifted_exponential_delay(mean / 2.0, mean / 2.0);
+  }
+  if (name == "erlang") return erlang_delay(4, mean);
+  if (name == "georetx") {
+    // Success probability 0.5 per slot; slot sized so the mean comes out.
+    return geometric_retransmission_delay(0.5, mean * 0.5);
+  }
+  if (name == "lomax") return lomax_delay(2.5, mean);
+  if (name == "bimodal") {
+    // 10% of messages take 10x the fast path: fast + p*slow == mean.
+    const double fast = mean / 1.9;
+    return bimodal_delay(fast, 10.0 * fast, 0.1);
+  }
+  if (name == "weibull") return weibull_delay(0.7, mean);  // heavy-ish tail
+  if (name == "lognormal") return lognormal_delay(mean, 1.0);
+  if (name == "hyperexp") {
+    // 10% of messages hit a path ~7x slower: 0.9*f + 0.1*7f = 1.6f = mean.
+    const double fast = mean / 1.6;
+    return hyperexponential_delay(fast, 7.0 * fast, 0.1);
+  }
+  ABE_CHECK(false) << "unknown delay model '" << name << "'";
+  return nullptr;
+}
+
+const std::vector<std::string>& standard_delay_model_names() {
+  static const std::vector<std::string> kNames = {
+      "fixed",  "uniform", "exponential", "shifted",    "erlang",
+      "georetx", "lomax",  "bimodal",     "weibull",    "lognormal",
+      "hyperexp"};
+  return kNames;
+}
+
+}  // namespace abe

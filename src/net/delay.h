@@ -1,0 +1,94 @@
+// Message-delay models.
+//
+// The defining feature of the ABE model (Definition 1.1) is that only a
+// bound on the *expected* delay is known. Every model here therefore exposes
+// `mean_delay()` — the value an ABE algorithm is allowed to know — while the
+// actual samples may be unbounded (exponential, Lomax, geometric
+// retransmission). FixedDelay recovers the classic ABD model as the special
+// case where the bound holds surely, and zero-variance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace abe {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  // Draws one delay (>= 0, time units).
+  virtual double sample(Rng& rng) const = 0;
+
+  // Exact expected delay of this model; the ABE bound δ must be >= this.
+  virtual double mean_delay() const = 0;
+
+  // True when samples are bounded above (ABD-compatible models).
+  virtual bool bounded() const { return false; }
+
+  // Least upper bound on samples when bounded() is true; +inf otherwise.
+  virtual double worst_case() const;
+
+  virtual std::string name() const = 0;
+};
+
+using DelayModelPtr = std::shared_ptr<const DelayModel>;
+
+// Deterministic delay d — the ABD special case.
+DelayModelPtr fixed_delay(double d);
+
+// Uniform in [lo, hi]; bounded, mean (lo+hi)/2.
+DelayModelPtr uniform_delay(double lo, double hi);
+
+// Exponential with the given mean; unbounded, memoryless. The canonical ABE
+// delay: every positive delay has nonzero density.
+DelayModelPtr exponential_delay(double mean);
+
+// offset + Exponential(mean_extra): a minimum wire latency plus queueing.
+DelayModelPtr shifted_exponential_delay(double offset, double mean_extra);
+
+// Erlang-k with total mean `mean_total` (sum of k exponentials): models a
+// route of k store-and-forward hops.
+DelayModelPtr erlang_delay(unsigned k, double mean_total);
+
+// Lossy-channel retransmission (paper Sec. 1, case iii): each attempt takes
+// `slot` time and succeeds with probability p; delay = attempts * slot.
+// Unbounded; mean slot/p — the k_avg = 1/p law.
+DelayModelPtr geometric_retransmission_delay(double p, double slot = 1.0);
+
+// Heavy-tailed Lomax/Pareto-II with shape alpha > 1, parameterised directly
+// by its mean. Finite expectation, infinite variance when alpha <= 2: the
+// harshest distribution still admissible in an ABE network.
+DelayModelPtr lomax_delay(double alpha, double mean);
+
+// Two-point mixture: `fast` with prob 1-p_slow, `slow` with prob p_slow.
+// Bounded; models a network with an occasional congested path.
+DelayModelPtr bimodal_delay(double fast, double slow, double p_slow);
+
+// Weibull with shape k > 0, parameterised by its mean. k < 1 gives a
+// heavier-than-exponential tail (common fit for wireless retry delays),
+// k > 1 a lighter one.
+DelayModelPtr weibull_delay(double shape, double mean);
+
+// Log-normal parameterised by its mean and the sigma of the underlying
+// normal; the classic fit for internet RTTs.
+DelayModelPtr lognormal_delay(double mean, double sigma);
+
+// Hyperexponential H2: exponential(mean_fast) w.p. 1-p_slow, else
+// exponential(mean_slow). High-variance mixture of two service regimes.
+DelayModelPtr hyperexponential_delay(double mean_fast, double mean_slow,
+                                     double p_slow);
+
+// Factory by name, normalised so mean_delay() == mean:
+//   fixed | uniform | exponential | shifted | erlang | georetx | lomax |
+//   bimodal
+// Unknown names abort. Used by example CLIs and bench sweeps.
+DelayModelPtr make_delay_model(const std::string& name, double mean);
+
+// Names accepted by make_delay_model, for iteration in sweeps.
+const std::vector<std::string>& standard_delay_model_names();
+
+}  // namespace abe

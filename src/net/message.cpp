@@ -1,0 +1,23 @@
+#include "net/message.h"
+
+#include <sstream>
+
+namespace abe {
+
+std::unique_ptr<Payload> IntPayload::clone() const {
+  return std::make_unique<IntPayload>(value_);
+}
+
+std::string IntPayload::describe() const {
+  std::ostringstream os;
+  os << "Int(" << value_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Payload> TextPayload::clone() const {
+  return std::make_unique<TextPayload>(text_);
+}
+
+std::string TextPayload::describe() const { return "Text(" + text_ + ")"; }
+
+}  // namespace abe

@@ -1,0 +1,350 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace abe {
+
+const char* channel_ordering_name(ChannelOrdering o) {
+  switch (o) {
+    case ChannelOrdering::kFifo:
+      return "fifo";
+    case ChannelOrdering::kArbitrary:
+      return "arbitrary";
+  }
+  return "?";
+}
+
+double ProcessingModel::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kZero:
+      return 0.0;
+    case Kind::kFixed:
+      return mean;
+    case Kind::kExponential:
+      return mean > 0.0 ? rng.exponential(mean) : 0.0;
+  }
+  return 0.0;
+}
+
+// Per-node Context implementation; a thin forwarding shim into the Network.
+class Network::ContextImpl final : public Context {
+ public:
+  ContextImpl(Network* net, std::size_t index) : net_(net), index_(index) {}
+
+  NodeId self() const override {
+    return NodeId{static_cast<std::int64_t>(index_)};
+  }
+  std::size_t out_degree() const override {
+    return net_->out_channels_[index_].size();
+  }
+  std::size_t in_degree() const override {
+    return net_->in_channels_[index_].size();
+  }
+  std::size_t network_size() const override { return net_->size(); }
+
+  void send(std::size_t out_index, PayloadPtr payload) override {
+    net_->send_from(index_, out_index, std::move(payload));
+  }
+
+  double local_now() override {
+    return net_->slots_[index_].clock->local_at(net_->now());
+  }
+  SimTime real_now() const override { return net_->now(); }
+
+  TimerId set_timer_local(double local_delay, std::uint64_t tag) override {
+    return net_->set_timer(index_, local_delay, tag);
+  }
+  bool cancel_timer(TimerId id) override {
+    return net_->cancel_timer_impl(id);
+  }
+
+  Rng& rng() override { return net_->slots_[index_].rng; }
+
+  void log(const std::string& detail) override {
+    net_->trace_.record(net_->now(), TraceKind::kCustom, self(), detail);
+  }
+
+ private:
+  Network* net_;
+  std::size_t index_;
+};
+
+Network::Network(NetworkConfig config)
+    : config_(std::move(config)),
+      root_rng_(config_.seed),
+      channel_rng_(root_rng_.substream("channels")) {
+  validate_topology(config_.topology);
+  config_.clock_bounds.validate();
+  if (!config_.delay) {
+    config_.delay = exponential_delay(1.0);
+  }
+  ABE_CHECK_GE(config_.loss_probability, 0.0);
+  ABE_CHECK_LT(config_.loss_probability, 1.0)
+      << "loss probability 1 would never deliver";
+  ABE_CHECK_GT(config_.tick_local_period, 0.0);
+
+  const std::size_t n = config_.topology.n;
+  out_channels_ = out_adjacency(config_.topology);
+  in_channels_ = in_adjacency(config_.topology);
+  in_index_of_edge_.assign(config_.topology.edges.size(), 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t k = 0; k < in_channels_[v].size(); ++k) {
+      in_index_of_edge_[in_channels_[v][k]] = k;
+    }
+  }
+  channels_.resize(config_.topology.edges.size());
+  for (auto& ch : channels_) {
+    ch.delay = config_.delay;
+    ch.loss_probability = config_.loss_probability;
+  }
+  metrics_.sent_by_node.assign(n, 0);
+  metrics_.sent_by_channel.assign(channels_.size(), 0);
+  slots_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].rng = root_rng_.substream("node", i);
+    slots_[i].clock = std::make_unique<LocalClock>(
+        config_.clock_bounds, config_.drift, root_rng_.substream("clock", i),
+        config_.clock_segment_mean);
+    slots_[i].context = std::make_unique<ContextImpl>(this, i);
+  }
+}
+
+Network::~Network() = default;
+
+void Network::add_node(NodePtr node) {
+  ABE_CHECK(!started_) << "nodes must be added before start()";
+  ABE_CHECK(static_cast<bool>(node));
+  for (auto& slot : slots_) {
+    if (!slot.node) {
+      slot.node = std::move(node);
+      return;
+    }
+  }
+  ABE_CHECK(false) << "more nodes than topology slots (" << size() << ")";
+}
+
+void Network::build_nodes(const std::function<NodePtr(std::size_t)>& factory) {
+  for (std::size_t i = 0; i < size(); ++i) {
+    add_node(factory(i));
+  }
+}
+
+void Network::set_channel_delay(std::size_t edge_index, DelayModelPtr delay) {
+  ABE_CHECK(!started_);
+  ABE_CHECK_LT(edge_index, channels_.size());
+  ABE_CHECK(static_cast<bool>(delay));
+  channels_[edge_index].delay = std::move(delay);
+}
+
+void Network::set_channel_loss(std::size_t edge_index,
+                               double loss_probability) {
+  ABE_CHECK(!started_);
+  ABE_CHECK_LT(edge_index, channels_.size());
+  ABE_CHECK_GE(loss_probability, 0.0);
+  ABE_CHECK_LT(loss_probability, 1.0);
+  channels_[edge_index].loss_probability = loss_probability;
+}
+
+void Network::start() {
+  ABE_CHECK(!started_) << "start() called twice";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    ABE_CHECK(static_cast<bool>(slots_[i].node))
+        << "node " << i << " missing before start()";
+  }
+  started_ = true;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    scheduler_.schedule_at(0.0, [this, i] {
+      slots_[i].node->on_start(*slots_[i].context);
+    });
+    if (config_.enable_ticks) {
+      slots_[i].ticking = true;
+      schedule_next_tick(i);
+    }
+  }
+}
+
+void Network::schedule_next_tick(std::size_t node_index) {
+  NodeSlot& slot = slots_[node_index];
+  const double next_local =
+      static_cast<double>(slot.ticks + 1) * config_.tick_local_period;
+  const SimTime fire = slot.clock->real_at(next_local);
+  scheduler_.schedule_at(fire, [this, node_index] {
+    NodeSlot& s = slots_[node_index];
+    ++s.ticks;
+    ++metrics_.ticks_fired;
+    trace_.record(now(), TraceKind::kTick,
+                  NodeId{static_cast<std::int64_t>(node_index)},
+                  "tick=" + std::to_string(s.ticks));
+    s.node->on_tick(*s.context, s.ticks);
+    if (s.node->is_terminated()) {
+      s.ticking = false;  // terminal nodes stop consuming tick events
+    } else {
+      schedule_next_tick(node_index);
+    }
+  });
+}
+
+TimerId Network::set_timer(std::size_t node_index, double local_delay,
+                           std::uint64_t tag) {
+  ABE_CHECK_GE(local_delay, 0.0);
+  NodeSlot& slot = slots_[node_index];
+  const double local_now = slot.clock->local_at(now());
+  const SimTime fire = slot.clock->real_at(local_now + local_delay);
+  const std::int64_t timer_id = next_timer_id_++;
+  const EventId ev = scheduler_.schedule_at(
+      std::max(fire, now()), [this, node_index, tag, timer_id] {
+        live_timers_.erase(timer_id);
+        NodeSlot& s = slots_[node_index];
+        ++metrics_.timers_fired;
+        trace_.record(now(), TraceKind::kTimer,
+                      NodeId{static_cast<std::int64_t>(node_index)},
+                      "tag=" + std::to_string(tag));
+        s.node->on_timer(*s.context, TimerId{timer_id}, tag);
+      });
+  live_timers_.emplace(timer_id, ev);
+  return TimerId{timer_id};
+}
+
+bool Network::cancel_timer_impl(TimerId id) {
+  auto it = live_timers_.find(id.value());
+  if (it == live_timers_.end()) return false;
+  const bool cancelled = scheduler_.cancel(it->second);
+  live_timers_.erase(it);
+  return cancelled;
+}
+
+void Network::send_from(std::size_t node_index, std::size_t out_index,
+                        PayloadPtr payload) {
+  ABE_CHECK(started_) << "send before start()";
+  ABE_CHECK(static_cast<bool>(payload));
+  ABE_CHECK_LT(out_index, out_channels_[node_index].size());
+  const std::size_t edge_index = out_channels_[node_index][out_index];
+  ChannelState& ch = channels_[edge_index];
+
+  ++metrics_.messages_sent;
+  ++metrics_.sent_by_node[node_index];
+  ++metrics_.sent_by_channel[edge_index];
+  if (trace_.enabled()) {
+    trace_.record(now(), TraceKind::kSend,
+                  NodeId{static_cast<std::int64_t>(node_index)},
+                  "edge=" + std::to_string(edge_index) + " " +
+                      payload->describe());
+  }
+
+  std::shared_ptr<const Payload> shared{payload.release()};
+
+  // Silent loss (ARQ substrate): the message vanishes in transit.
+  if (ch.loss_probability > 0.0 &&
+      channel_rng_.bernoulli(ch.loss_probability)) {
+    ++metrics_.messages_dropped;
+    if (trace_.enabled()) {
+      trace_.record(now(), TraceKind::kDrop,
+                    NodeId{static_cast<std::int64_t>(
+                        config_.topology.edges[edge_index].to)},
+                    "edge=" + std::to_string(edge_index) + " " +
+                        shared->describe());
+    }
+    return;
+  }
+
+  const double delay = ch.delay->sample(channel_rng_);
+  ABE_CHECK_GE(delay, 0.0);
+  SimTime arrival = now() + delay;
+  if (config_.ordering == ChannelOrdering::kFifo) {
+    arrival = std::max(arrival, ch.last_arrival);
+    ch.last_arrival = arrival;
+  }
+  const SimTime sent_at = now();
+  scheduler_.schedule_at(arrival, [this, edge_index, shared, sent_at] {
+    deliver(edge_index, shared, sent_at);
+  });
+}
+
+void Network::deliver(std::size_t edge_index,
+                      std::shared_ptr<const Payload> payload,
+                      SimTime sent_at) {
+  const std::size_t to = config_.topology.edges[edge_index].to;
+  NodeSlot& slot = slots_[to];
+
+  const double channel_delay = now() - sent_at;
+  auto finish_delivery = [this, edge_index, payload, channel_delay, to]() {
+    NodeSlot& s = slots_[to];
+    ++metrics_.messages_delivered;
+    metrics_.total_channel_delay += channel_delay;
+    metrics_.max_channel_delay =
+        std::max(metrics_.max_channel_delay, channel_delay);
+    if (trace_.enabled()) {
+      trace_.record(now(), TraceKind::kDeliver,
+                    NodeId{static_cast<std::int64_t>(to)},
+                    "edge=" + std::to_string(edge_index) + " " +
+                        payload->describe());
+    }
+    s.node->on_message(*s.context, in_index_of_edge_[edge_index], *payload);
+  };
+
+  if (config_.processing.kind == ProcessingModel::Kind::kZero) {
+    finish_delivery();
+    return;
+  }
+  // Definition 1(3): handling occupies the node; queue behind earlier work.
+  const SimTime start = std::max(now(), slot.busy_until);
+  const double ptime = config_.processing.sample(slot.rng);
+  const SimTime finish = start + ptime;
+  slot.busy_until = finish;
+  if (finish <= now()) {
+    finish_delivery();
+  } else {
+    scheduler_.schedule_at(finish, finish_delivery);
+  }
+}
+
+bool Network::run_until(const std::function<bool()>& pred, SimTime deadline) {
+  ABE_CHECK(started_) << "run before start()";
+  while (!pred()) {
+    // Peek so no event beyond the deadline is ever executed.
+    const SimTime next = scheduler_.next_event_time();
+    if (next == kTimeInfinity || next > deadline) return false;
+    scheduler_.run_steps(1);
+  }
+  return true;
+}
+
+void Network::run_until_quiescent(SimTime deadline) {
+  ABE_CHECK(started_);
+  if (deadline == kTimeInfinity) {
+    ABE_CHECK(!config_.enable_ticks)
+        << "tick generation never quiesces; pass a finite deadline";
+    scheduler_.run();
+  } else {
+    scheduler_.run_until(deadline);
+  }
+}
+
+Node& Network::node(std::size_t i) {
+  ABE_CHECK_LT(i, slots_.size());
+  return *slots_[i].node;
+}
+
+const Node& Network::node(std::size_t i) const {
+  ABE_CHECK_LT(i, slots_.size());
+  return *slots_[i].node;
+}
+
+LocalClock& Network::clock(std::size_t i) {
+  ABE_CHECK_LT(i, slots_.size());
+  return *slots_[i].clock;
+}
+
+double Network::expected_delay_bound() const {
+  double bound = 0.0;
+  for (const auto& ch : channels_) {
+    bound = std::max(bound, ch.delay->mean_delay());
+  }
+  return bound;
+}
+
+}  // namespace abe

@@ -1,0 +1,89 @@
+// Node and Context: the runtime-agnostic algorithm interface.
+//
+// Algorithms (the ABE election, baselines, synchronizers) implement Node and
+// interact with the world only through Context. Two runtimes provide
+// Context: the discrete-event simulator (net/network.h) and the real-thread
+// runtime (runtime/thread_net.h), so the same algorithm object runs on both.
+//
+// Anonymity: a node never learns a global identifier through this interface —
+// it sees only its local in/out channel indices — matching the anonymous-ring
+// setting of the paper. (Context::self() exists for instrumentation and
+// tracing; algorithm code in src/core and src/algo must not branch on it.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/message.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace abe {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // --- identity & shape -----------------------------------------------
+  // Instrumentation-only identity (see header comment).
+  virtual NodeId self() const = 0;
+  // Number of outgoing / incoming channels of this node.
+  virtual std::size_t out_degree() const = 0;
+  virtual std::size_t in_degree() const = 0;
+  // Network size n; the paper's election assumes n is known to all nodes.
+  virtual std::size_t network_size() const = 0;
+
+  // --- communication ----------------------------------------------------
+  // Sends `payload` on the out-channel with local index `out_index`.
+  virtual void send(std::size_t out_index, PayloadPtr payload) = 0;
+
+  // --- time ---------------------------------------------------------------
+  // Reading of this node's local (drifting) clock.
+  virtual double local_now() = 0;
+  // Global simulated/wall time. For metrics and traces only; algorithm logic
+  // must not read it (real distributed nodes have no global clock).
+  virtual SimTime real_now() const = 0;
+
+  // One-shot timer after `local_delay` on this node's local clock; fires
+  // Node::on_timer with `tag`. Returns a cancellable handle.
+  virtual TimerId set_timer_local(double local_delay, std::uint64_t tag) = 0;
+  virtual bool cancel_timer(TimerId id) = 0;
+
+  // --- randomness & observability ------------------------------------
+  // This node's private random stream.
+  virtual Rng& rng() = 0;
+  // Appends a custom trace event attributed to this node.
+  virtual void log(const std::string& detail) = 0;
+};
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  // Called once at time 0 before any message/tick.
+  virtual void on_start(Context&) {}
+
+  // A payload arrived on in-channel `in_index`.
+  virtual void on_message(Context& ctx, std::size_t in_index,
+                          const Payload& payload) = 0;
+
+  // Local-clock tick number `tick` (ticks are enabled per-network; the ABE
+  // election acts on these).
+  virtual void on_tick(Context&, std::uint64_t /*tick*/) {}
+
+  // A timer set via Context::set_timer_local fired.
+  virtual void on_timer(Context&, TimerId, std::uint64_t /*tag*/) {}
+
+  // Diagnostic name of the node's current state ("idle", "leader", …).
+  virtual std::string state_string() const { return ""; }
+
+  // True when this node has reached a terminal state; runtimes may use this
+  // to stop tick generation for the node.
+  virtual bool is_terminated() const { return false; }
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+}  // namespace abe

@@ -1,0 +1,78 @@
+#include "net/spanning_tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/check.h"
+
+namespace abe {
+
+std::size_t SpanningTree::height() const {
+  std::size_t h = 0;
+  for (std::size_t d : depth) h = std::max(h, d);
+  return h;
+}
+
+SpanningTree bfs_spanning_tree(const Topology& topology, std::size_t root) {
+  validate_topology(topology);
+  ABE_CHECK_LT(root, topology.n);
+  ABE_CHECK(is_strongly_connected(topology))
+      << "spanning tree needs a strongly connected graph";
+
+  // Forward adjacency plus a reverse-edge existence set.
+  std::vector<std::vector<std::size_t>> nbr(topology.n);
+  std::vector<std::vector<char>> has_edge;  // dense for small n
+  has_edge.assign(topology.n, std::vector<char>(topology.n, 0));
+  for (const Edge& e : topology.edges) {
+    nbr[e.from].push_back(e.to);
+    has_edge[e.from][e.to] = 1;
+  }
+
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(topology.n, std::numeric_limits<std::size_t>::max());
+  tree.children.assign(topology.n, {});
+  tree.depth.assign(topology.n, 0);
+  tree.parent[root] = root;
+
+  std::deque<std::size_t> queue{root};
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (std::size_t v : nbr[u]) {
+      if (tree.parent[v] != std::numeric_limits<std::size_t>::max()) {
+        continue;
+      }
+      ABE_CHECK(has_edge[v][u])
+          << "tree edge " << u << "->" << v
+          << " lacks the reverse channel the β protocol needs";
+      tree.parent[v] = u;
+      tree.children[u].push_back(v);
+      tree.depth[v] = tree.depth[u] + 1;
+      queue.push_back(v);
+    }
+  }
+  for (std::size_t v = 0; v < topology.n; ++v) {
+    ABE_CHECK(tree.parent[v] != std::numeric_limits<std::size_t>::max())
+        << "node " << v << " unreachable from root";
+  }
+  return tree;
+}
+
+std::vector<std::vector<std::size_t>> out_channel_to_neighbor(
+    const Topology& topology) {
+  const auto out = out_adjacency(topology);
+  std::vector<std::vector<std::size_t>> map(
+      topology.n,
+      std::vector<std::size_t>(topology.n,
+                               std::numeric_limits<std::size_t>::max()));
+  for (std::size_t u = 0; u < topology.n; ++u) {
+    for (std::size_t k = 0; k < out[u].size(); ++k) {
+      map[u][topology.edges[out[u][k]].to] = k;
+    }
+  }
+  return map;
+}
+
+}  // namespace abe

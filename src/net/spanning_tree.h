@@ -1,0 +1,42 @@
+// BFS spanning trees — substrate for the β-synchronizer.
+//
+// The β-synchronizer coordinates rounds by convergecast/broadcast along a
+// spanning tree of the communication graph. The tree is computed offline
+// from the topology (synchronizers are infrastructure, not anonymous
+// algorithms, so global structure is fair game); the runtime protocol then
+// only uses local channel indices derived from it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace abe {
+
+struct SpanningTree {
+  std::size_t root = 0;
+  // parent[i] = parent node of i (root points at itself).
+  std::vector<std::size_t> parent;
+  // children[i] = child nodes of i.
+  std::vector<std::vector<std::size_t>> children;
+  // depth[i] = hops from the root.
+  std::vector<std::size_t> depth;
+
+  std::size_t height() const;
+  std::size_t edge_count() const { return parent.empty() ? 0 : parent.size() - 1; }
+};
+
+// Builds a BFS tree over the topology's directed edges, requiring that the
+// reverse edge exists for every tree edge (the β protocol talks both ways).
+// Aborts when the graph is not strongly connected or a needed reverse edge
+// is missing.
+SpanningTree bfs_spanning_tree(const Topology& topology, std::size_t root);
+
+// For each node, the out-channel index (into out_adjacency order) leading
+// to a given neighbour; SIZE_MAX when there is no such channel. Helper for
+// wiring tree/ack routes.
+std::vector<std::vector<std::size_t>> out_channel_to_neighbor(
+    const Topology& topology);
+
+}  // namespace abe

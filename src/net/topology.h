@@ -1,0 +1,82 @@
+// Topology builders and graph helpers.
+//
+// The paper's election runs on unidirectional rings; synchronizers and the
+// broader substrate run on arbitrary strongly-connected digraphs. Edges are
+// directed; bidirectional topologies emit both directions explicitly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace abe {
+
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+struct Topology {
+  std::size_t n = 0;
+  std::vector<Edge> edges;  // directed
+  std::string name;
+
+  std::size_t edge_count() const { return edges.size(); }
+};
+
+// n >= 1 nodes; node i sends to (i+1) mod n. The paper's setting.
+Topology unidirectional_ring(std::size_t n);
+
+// Both directions of each ring edge.
+Topology bidirectional_ring(std::size_t n);
+
+// Path 0–1–…–(n−1), both directions per hop.
+Topology line(std::size_t n);
+
+// Node 0 is the hub; spokes in both directions.
+Topology star(std::size_t n);
+
+// Every ordered pair (i, j), i != j.
+Topology complete(std::size_t n);
+
+// rows×cols grid, 4-neighbourhood, both directions.
+Topology grid(std::size_t rows, std::size_t cols);
+
+// rows×cols torus (grid with wraparound), both directions.
+Topology torus(std::size_t rows, std::size_t cols);
+
+// 2^dim nodes; edge per differing bit, both directions.
+Topology hypercube(std::size_t dim);
+
+// Erdős–Rényi G(n, p) on undirected pairs (kept in both directions), resampled
+// until strongly connected; p is clamped up for tiny n to guarantee
+// termination in practice. Deterministic given `rng`.
+Topology random_connected(std::size_t n, double p, Rng& rng);
+
+// Random geometric graph: n nodes at uniform positions in the unit square,
+// connected (both directions) when within `radius` — the standard model of
+// the ad-hoc/sensor networks the paper motivates ABE with. The radius is
+// grown until the graph is connected, so the returned topology is always
+// usable. Node positions are returned via `positions` when non-null
+// (x0,y0,x1,y1,… layout).
+Topology random_geometric(std::size_t n, double radius, Rng& rng,
+                          std::vector<double>* positions = nullptr);
+
+// Out-channel lists: for each node, the indices into topology.edges of its
+// outgoing edges, in edge order. in_adjacency is the analogue for incoming.
+std::vector<std::vector<std::size_t>> out_adjacency(const Topology& t);
+std::vector<std::vector<std::size_t>> in_adjacency(const Topology& t);
+
+// Kosaraju-style check that every node reaches every other.
+bool is_strongly_connected(const Topology& t);
+
+// Longest shortest path (directed, unit weights). Requires strong
+// connectivity.
+std::size_t diameter(const Topology& t);
+
+// Validates node indices and rejects self-loops; aborts on violation.
+void validate_topology(const Topology& t);
+
+}  // namespace abe

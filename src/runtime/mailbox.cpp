@@ -1,0 +1,66 @@
+#include "runtime/mailbox.h"
+
+#include <algorithm>
+
+namespace abe {
+
+void Mailbox::push(MailItem item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    item.sequence = next_sequence_++;
+    queue_.push(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+bool Mailbox::pop(MailItem& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Drop cancelled timers eagerly while they are at the front.
+    while (!queue_.empty() && queue_.top().kind == MailItem::Kind::kTimer &&
+           std::find(cancelled_timers_.begin(), cancelled_timers_.end(),
+                     queue_.top().timer_id) != cancelled_timers_.end()) {
+      cancelled_timers_.erase(
+          std::find(cancelled_timers_.begin(), cancelled_timers_.end(),
+                    queue_.top().timer_id));
+      queue_.pop();
+    }
+    if (queue_.empty()) {
+      if (closed_) return false;
+      cv_.wait(lock);
+      continue;
+    }
+    const auto now = MailItem::Clock::now();
+    if (queue_.top().due <= now) {
+      out = queue_.top();
+      queue_.pop();
+      return out.kind != MailItem::Kind::kStop;
+    }
+    cv_.wait_until(lock, queue_.top().due);
+  }
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    MailItem stop;
+    stop.kind = MailItem::Kind::kStop;
+    stop.due = MailItem::Clock::now();
+    stop.sequence = next_sequence_++;
+    queue_.push(std::move(stop));
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::cancel_timer(std::int64_t timer_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_timers_.push_back(timer_id);
+}
+
+std::size_t Mailbox::approximate_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace abe

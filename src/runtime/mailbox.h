@@ -1,0 +1,73 @@
+// Blocking per-node mailbox for the thread runtime.
+//
+// Items carry a due time (monotonic clock): channel delay is realised by
+// enqueueing with a future due time; pop() blocks until the earliest item is
+// due, a new earlier item arrives, or the mailbox is closed. One consumer
+// (the node's own thread), many producers (peers' threads).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "net/message.h"
+
+namespace abe {
+
+struct MailItem {
+  enum class Kind : std::uint8_t { kMessage, kTimer, kStop };
+  using Clock = std::chrono::steady_clock;
+
+  Kind kind = Kind::kMessage;
+  Clock::time_point due{};
+  std::uint64_t sequence = 0;  // tie-break for deterministic ordering
+  // kMessage:
+  std::size_t in_index = 0;
+  std::shared_ptr<const Payload> payload;
+  // kTimer:
+  std::int64_t timer_id = 0;
+  std::uint64_t tag = 0;
+};
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // Enqueues an item (producer side). Safe from any thread.
+  void push(MailItem item);
+
+  // Blocks until the earliest item is due, then pops it. Returns false when
+  // the mailbox was closed and drained of due work (consumer should exit).
+  bool pop(MailItem& out);
+
+  // Wakes the consumer and makes pop() return false once the queue empties.
+  void close();
+
+  // Marks a timer id cancelled; the matching kTimer item is dropped on pop.
+  void cancel_timer(std::int64_t timer_id);
+
+  std::size_t approximate_size() const;
+
+ private:
+  struct Later {
+    bool operator()(const MailItem& a, const MailItem& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<MailItem, std::vector<MailItem>, Later> queue_;
+  std::vector<std::int64_t> cancelled_timers_;
+  bool closed_ = false;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace abe

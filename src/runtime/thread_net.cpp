@@ -1,0 +1,278 @@
+#include "runtime/thread_net.h"
+
+#include <algorithm>
+
+#include "core/election.h"
+#include "util/check.h"
+
+namespace abe {
+
+// Context implementation whose methods run exclusively on the node's thread.
+class ThreadNetwork::ThreadContext final : public Context {
+ public:
+  ThreadContext(ThreadNetwork* net, std::size_t index)
+      : net_(net), index_(index) {}
+
+  NodeId self() const override {
+    return NodeId{static_cast<std::int64_t>(index_)};
+  }
+  std::size_t out_degree() const override {
+    return net_->out_channels_[index_].size();
+  }
+  std::size_t in_degree() const override {
+    return net_->in_channels_[index_].size();
+  }
+  std::size_t network_size() const override { return net_->size(); }
+
+  void send(std::size_t out_index, PayloadPtr payload) override {
+    ABE_CHECK_LT(out_index, net_->out_channels_[index_].size());
+    ABE_CHECK(static_cast<bool>(payload));
+    Slot& self_slot = net_->slots_[index_];
+    const std::size_t edge = net_->out_channels_[index_][out_index];
+    const std::size_t to = net_->config_.topology.edges[edge].to;
+    const double delay = net_->config_.delay->sample(self_slot.rng);
+
+    MailItem item;
+    item.kind = MailItem::Kind::kMessage;
+    item.due = net_->sim_to_wall(delay);
+    item.in_index = net_->in_index_of_edge_[edge];
+    item.payload = std::shared_ptr<const Payload>(payload.release());
+    net_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    net_->slots_[to].mailbox->push(std::move(item));
+  }
+
+  double local_now() override {
+    return net_->now_sim() * net_->slots_[index_].clock_rate;
+  }
+  SimTime real_now() const override { return net_->now_sim(); }
+
+  TimerId set_timer_local(double local_delay, std::uint64_t tag) override {
+    ABE_CHECK_GE(local_delay, 0.0);
+    const double real_delay =
+        local_delay / net_->slots_[index_].clock_rate;
+    const std::int64_t id =
+        net_->next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+    MailItem item;
+    item.kind = MailItem::Kind::kTimer;
+    item.due = net_->sim_to_wall(real_delay);
+    item.timer_id = id;
+    item.tag = tag;
+    net_->slots_[index_].mailbox->push(std::move(item));
+    return TimerId{id};
+  }
+
+  bool cancel_timer(TimerId id) override {
+    net_->slots_[index_].mailbox->cancel_timer(id.value());
+    return true;
+  }
+
+  Rng& rng() override { return net_->slots_[index_].rng; }
+
+  void log(const std::string&) override {
+    // The thread runtime has no trace sink; logging is a no-op here.
+  }
+
+ private:
+  ThreadNetwork* net_;
+  std::size_t index_;
+};
+
+ThreadNetwork::ThreadNetwork(ThreadNetConfig config)
+    : config_(std::move(config)), root_rng_(config_.seed) {
+  validate_topology(config_.topology);
+  config_.clock_bounds.validate();
+  if (!config_.delay) config_.delay = exponential_delay(1.0);
+  ABE_CHECK_GT(config_.time_scale_us, 0.0);
+
+  const std::size_t n = config_.topology.n;
+  out_channels_ = out_adjacency(config_.topology);
+  in_channels_ = in_adjacency(config_.topology);
+  in_index_of_edge_.assign(config_.topology.edges.size(), 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t k = 0; k < in_channels_[v].size(); ++k) {
+      in_index_of_edge_[in_channels_[v][k]] = k;
+    }
+  }
+  slots_ = std::vector<Slot>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].mailbox = std::make_unique<Mailbox>();
+    slots_[i].context = std::make_unique<ThreadContext>(this, i);
+    slots_[i].rng = root_rng_.substream("thread-node", i);
+    Rng clock_rng = root_rng_.substream("thread-clock", i);
+    slots_[i].clock_rate = clock_rng.uniform(config_.clock_bounds.s_low,
+                                             config_.clock_bounds.s_high);
+  }
+}
+
+ThreadNetwork::~ThreadNetwork() { stop(); }
+
+void ThreadNetwork::add_node(NodePtr node) {
+  ABE_CHECK(!started_.load());
+  ABE_CHECK(static_cast<bool>(node));
+  for (auto& slot : slots_) {
+    if (!slot.node) {
+      slot.node = std::move(node);
+      return;
+    }
+  }
+  ABE_CHECK(false) << "more nodes than topology slots";
+}
+
+void ThreadNetwork::build_nodes(
+    const std::function<NodePtr(std::size_t)>& factory) {
+  for (std::size_t i = 0; i < size(); ++i) add_node(factory(i));
+}
+
+MailItem::Clock::time_point ThreadNetwork::sim_to_wall(
+    double sim_delay_from_now) const {
+  return MailItem::Clock::now() +
+         std::chrono::microseconds(static_cast<std::int64_t>(
+             sim_delay_from_now * config_.time_scale_us));
+}
+
+double ThreadNetwork::now_sim() const {
+  const auto elapsed = MailItem::Clock::now() - start_time_;
+  const double us =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count());
+  return us / config_.time_scale_us;
+}
+
+void ThreadNetwork::start() {
+  ABE_CHECK(!started_.exchange(true)) << "start() called twice";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    ABE_CHECK(static_cast<bool>(slots_[i].node)) << "node " << i << " missing";
+  }
+  start_time_ = MailItem::Clock::now();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].thread = std::thread([this, i] { thread_main(i); });
+  }
+}
+
+void ThreadNetwork::thread_main(std::size_t index) {
+  Slot& slot = slots_[index];
+  Context& ctx = *slot.context;
+  slot.node->on_start(ctx);
+
+  // Self-generated ticks: computed from the node's local clock.
+  std::uint64_t tick_count = 0;
+  auto next_tick_due = [&]() {
+    const double next_local =
+        static_cast<double>(tick_count + 1) * config_.tick_local_period;
+    const double real = next_local / slot.clock_rate;  // sim units
+    return start_time_ + std::chrono::microseconds(static_cast<std::int64_t>(
+                             real * config_.time_scale_us));
+  };
+  if (config_.enable_ticks) {
+    MailItem tick;
+    tick.kind = MailItem::Kind::kTimer;
+    tick.timer_id = -1;  // sentinel: tick, not a user timer
+    tick.due = next_tick_due();
+    slot.mailbox->push(std::move(tick));
+  }
+
+  MailItem item;
+  while (slot.mailbox->pop(item)) {
+    if (item.kind == MailItem::Kind::kMessage) {
+      messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+      slot.node->on_message(ctx, item.in_index, *item.payload);
+    } else if (item.kind == MailItem::Kind::kTimer) {
+      if (item.timer_id == -1) {
+        ++tick_count;
+        slot.node->on_tick(ctx, tick_count);
+        if (!slot.node->is_terminated()) {
+          MailItem tick;
+          tick.kind = MailItem::Kind::kTimer;
+          tick.timer_id = -1;
+          tick.due = next_tick_due();
+          slot.mailbox->push(std::move(tick));
+        }
+      } else {
+        slot.node->on_timer(ctx, TimerId{item.timer_id}, item.tag);
+      }
+    }
+    slot.terminated.store(slot.node->is_terminated(),
+                          std::memory_order_release);
+  }
+}
+
+bool ThreadNetwork::wait_until(const std::function<bool()>& pred,
+                               std::chrono::milliseconds timeout) {
+  const auto deadline = MailItem::Clock::now() + timeout;
+  while (MailItem::Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+void ThreadNetwork::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  for (auto& slot : slots_) {
+    slot.mailbox->close();
+  }
+  for (auto& slot : slots_) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+}
+
+Node& ThreadNetwork::node(std::size_t i) {
+  ABE_CHECK_LT(i, slots_.size());
+  return *slots_[i].node;
+}
+
+bool ThreadNetwork::terminated(std::size_t i) const {
+  ABE_CHECK_LT(i, slots_.size());
+  return slots_[i].terminated.load(std::memory_order_acquire);
+}
+
+ThreadedElectionResult run_threaded_election(
+    std::size_t n, double a0, double mean_delay, std::uint64_t seed,
+    double time_scale_us, std::chrono::milliseconds timeout) {
+  ThreadNetConfig config;
+  config.topology = unidirectional_ring(n);
+  config.delay = exponential_delay(mean_delay);
+  config.time_scale_us = time_scale_us;
+  config.enable_ticks = true;
+  config.seed = seed;
+
+  ThreadNetwork net(std::move(config));
+  ElectionOptions options;
+  options.a0 = a0;
+  net.build_nodes([&](std::size_t) -> NodePtr {
+    return std::make_unique<ElectionNode>(options);
+  });
+  net.start();
+
+  auto leader_exists = [&] {
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (net.terminated(i)) return true;
+    }
+    return false;
+  };
+  ThreadedElectionResult result;
+  result.elected = net.wait_until(leader_exists, timeout);
+  result.election_time_sim = net.now_sim();
+  // Allow in-flight stragglers to settle before freezing the state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  net.stop();
+
+  result.messages = net.messages_sent();
+  std::size_t leaders = 0;
+  std::size_t passives = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& node = static_cast<const ElectionNode&>(net.node(i));
+    if (node.state() == ElectionState::kLeader) {
+      ++leaders;
+      result.leader_index = i;
+    } else if (node.state() == ElectionState::kPassive) {
+      ++passives;
+    }
+  }
+  result.safety_ok =
+      result.elected && leaders == 1 && passives == n - 1;
+  return result;
+}
+
+}  // namespace abe

@@ -1,0 +1,120 @@
+// Real-thread runtime: one std::thread per node, blocking mailboxes,
+// wall-clock delays.
+//
+// The same Node/Context interface as the simulator, so algorithm code runs
+// unchanged on genuine asynchronous queues. One simulated time unit maps to
+// `time_scale_us` microseconds of wall time; channel delays are sampled from
+// the same DelayModel and realised by due-time enqueueing. Local clocks are
+// wall clocks scaled by a per-node fixed drift rate within the configured
+// bounds — an honest (if small-scale) physical realisation of the ABE model,
+// used as a fidelity check on the simulator's conclusions.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "clock/local_clock.h"
+#include "net/delay.h"
+#include "net/node.h"
+#include "net/topology.h"
+#include "runtime/mailbox.h"
+
+namespace abe {
+
+struct ThreadNetConfig {
+  Topology topology;
+  DelayModelPtr delay;               // per-channel delay (sim units)
+  double time_scale_us = 1000.0;     // wall microseconds per sim unit
+  ClockBounds clock_bounds{};
+  bool enable_ticks = false;
+  double tick_local_period = 1.0;    // in sim units, on the local clock
+  std::uint64_t seed = 1;
+};
+
+class ThreadNetwork {
+ public:
+  explicit ThreadNetwork(ThreadNetConfig config);
+  ~ThreadNetwork();
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
+
+  // Installs nodes (same contract as Network).
+  void add_node(NodePtr node);
+  void build_nodes(const std::function<NodePtr(std::size_t)>& factory);
+
+  // Spawns the node threads and delivers on_start on each node's thread.
+  void start();
+
+  // Blocks until `pred()` holds (polled) or the wall timeout expires.
+  // Returns whether pred() held.
+  bool wait_until(const std::function<bool()>& pred,
+                  std::chrono::milliseconds timeout);
+
+  // Closes all mailboxes and joins all threads. Idempotent; also runs on
+  // destruction.
+  void stop();
+
+  std::size_t size() const { return config_.topology.n; }
+  // Only safe after stop(): node state is owned by its thread while running.
+  Node& node(std::size_t i);
+  // Race-free terminated flag, updated by the node's thread after each event.
+  bool terminated(std::size_t i) const;
+
+  std::uint64_t messages_sent() const { return messages_sent_.load(); }
+  std::uint64_t messages_delivered() const {
+    return messages_delivered_.load();
+  }
+  // Wall time since start(), in sim units.
+  double now_sim() const;
+
+ private:
+  class ThreadContext;
+  struct Slot {
+    NodePtr node;
+    std::unique_ptr<Mailbox> mailbox;
+    std::unique_ptr<ThreadContext> context;
+    std::thread thread;
+    Rng rng;
+    double clock_rate = 1.0;
+    std::atomic<bool> terminated{false};
+  };
+
+  void thread_main(std::size_t index);
+  MailItem::Clock::time_point sim_to_wall(double sim_delay_from_now) const;
+
+  ThreadNetConfig config_;
+  Rng root_rng_;
+  std::vector<Slot> slots_;
+  std::vector<std::vector<std::size_t>> out_channels_;
+  std::vector<std::vector<std::size_t>> in_channels_;
+  std::vector<std::size_t> in_index_of_edge_;
+  MailItem::Clock::time_point start_time_{};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::int64_t> next_timer_id_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+// Convenience harness mirroring core/harness.h on the thread runtime.
+struct ThreadedElectionResult {
+  bool elected = false;
+  std::size_t leader_index = 0;
+  double election_time_sim = 0.0;
+  std::uint64_t messages = 0;
+  bool safety_ok = false;
+};
+
+ThreadedElectionResult run_threaded_election(std::size_t n, double a0,
+                                             double mean_delay,
+                                             std::uint64_t seed,
+                                             double time_scale_us = 200.0,
+                                             std::chrono::milliseconds
+                                                 timeout = std::chrono::milliseconds(30000));
+
+}  // namespace abe

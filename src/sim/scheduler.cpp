@@ -1,0 +1,105 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace abe {
+
+EventId Scheduler::schedule_at(SimTime when, Action action) {
+  ABE_CHECK_GE(when, now_);
+  ABE_CHECK(static_cast<bool>(action)) << "scheduled action must be callable";
+  const std::int64_t id = static_cast<std::int64_t>(next_seq_);
+  queue_.push(Entry{when, next_seq_, id});
+  actions_.emplace(id, std::move(action));
+  ++next_seq_;
+  return EventId{id};
+}
+
+EventId Scheduler::schedule_in(SimTime delay, Action action) {
+  ABE_CHECK_GE(delay, 0.0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Scheduler::cancel(EventId id) {
+  return actions_.erase(id.value()) > 0;
+}
+
+bool Scheduler::pop_next(Entry& out, Action& out_action) {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    auto it = actions_.find(top.id);
+    if (it == actions_.end()) continue;  // lazily cancelled
+    out = top;
+    out_action = std::move(it->second);
+    actions_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+SimTime Scheduler::next_event_time() {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (actions_.count(top.id) > 0) return top.when;
+    queue_.pop();  // cancelled; discard
+  }
+  return kTimeInfinity;
+}
+
+std::uint64_t Scheduler::run() {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  Entry e;
+  Action action;
+  while (!stop_requested_ && pop_next(e, action)) {
+    ABE_CHECK_GE(e.when, now_);
+    now_ = e.when;
+    action();
+    ++n;
+    ++processed_;
+  }
+  return n;
+}
+
+std::uint64_t Scheduler::run_until(SimTime deadline) {
+  ABE_CHECK_GE(deadline, now_);
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_ && !queue_.empty()) {
+    // Peek for the next live entry without consuming events past deadline.
+    Entry top = queue_.top();
+    auto it = actions_.find(top.id);
+    if (it == actions_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    queue_.pop();
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = top.when;
+    action();
+    ++n;
+    ++processed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  Entry e;
+  Action action;
+  while (n < max_events && !stop_requested_ && pop_next(e, action)) {
+    now_ = e.when;
+    action();
+    ++n;
+    ++processed_;
+  }
+  return n;
+}
+
+}  // namespace abe

@@ -1,0 +1,95 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// Events are (time, sequence, closure) triples processed in nondecreasing
+// time order; ties break by insertion sequence so runs are deterministic.
+// Cancellation uses lazy deletion: the heap entry stays, the action is
+// dropped, and the entry is skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace abe {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Current simulated time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  // Schedules `action` at absolute time `when` (>= now). Returns a handle
+  // usable with cancel().
+  EventId schedule_at(SimTime when, Action action);
+
+  // Schedules `action` after `delay` (>= 0) from now.
+  EventId schedule_in(SimTime delay, Action action);
+
+  // Cancels a pending event. Returns false when the event already ran,
+  // was cancelled before, or never existed.
+  bool cancel(EventId id);
+
+  // Runs events until the queue drains or stop is requested. Returns the
+  // number of events processed by this call.
+  std::uint64_t run();
+
+  // Runs events with time <= deadline. When the queue drains earlier,
+  // advances now() to `deadline`. Returns the number processed.
+  std::uint64_t run_until(SimTime deadline);
+
+  // Runs at most `max_events` events. Returns the number processed.
+  std::uint64_t run_steps(std::uint64_t max_events);
+
+  // Requests run()/run_until() to return after the current event completes.
+  void request_stop() { stop_requested_ = true; }
+
+  // True when no live (non-cancelled) events remain.
+  bool idle() const { return actions_.empty(); }
+
+  // Time of the next live event, or +inf when idle. Prunes lazily-cancelled
+  // entries from the head of the queue.
+  SimTime next_event_time();
+
+  // Number of live pending events.
+  std::uint64_t live_count() const { return actions_.size(); }
+
+  // Total events processed over the scheduler's lifetime (for metrics).
+  std::uint64_t processed_count() const { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::int64_t id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  // Pops the next live event into `out` and moves its action into
+  // `out_action`. Returns false when no live events remain.
+  bool pop_next(Entry& out, Action& out_action);
+
+  SimTime now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_map<std::int64_t, Action> actions_;
+};
+
+}  // namespace abe

@@ -1,0 +1,19 @@
+// Simulated time.
+//
+// Real (global) time is a double in abstract "time units"; the paper's
+// quantities (expected delay bound δ, processing bound γ, clock rates) are
+// all expressed in the same unit. Local clock readings are also doubles but
+// live in each node's own timescale (see clock/local_clock.h).
+#pragma once
+
+#include <limits>
+
+namespace abe {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<double>::infinity();
+
+}  // namespace abe

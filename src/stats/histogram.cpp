@@ -1,0 +1,86 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace abe {
+
+void Histogram::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::quantile(double q) const {
+  ABE_CHECK_GE(q, 0.0);
+  ABE_CHECK_LE(q, 1.0);
+  ABE_CHECK(!samples_.empty()) << "quantile of empty histogram";
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::tail_fraction(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(samples_.end() - it) /
+         static_cast<double>(samples_.size());
+}
+
+std::string Histogram::ascii(int bins, int width) const {
+  ABE_CHECK_GT(bins, 0);
+  ABE_CHECK_GT(width, 0);
+  if (samples_.empty()) return "(empty histogram)\n";
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(bins), 0);
+  for (double x : samples_) {
+    auto b = static_cast<std::size_t>((x - lo) / span * bins);
+    if (b >= counts.size()) b = counts.size() - 1;
+    ++counts[b];
+  }
+  const std::uint64_t peak = *std::max_element(counts.begin(), counts.end());
+  std::ostringstream os;
+  for (int b = 0; b < bins; ++b) {
+    const double left = lo + span * b / bins;
+    const int bar = peak == 0 ? 0
+                              : static_cast<int>(static_cast<double>(
+                                    counts[b] * static_cast<std::uint64_t>(width)) /
+                                                 static_cast<double>(peak));
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "[" << left << ") " << std::string(static_cast<std::size_t>(bar), '#')
+       << " " << counts[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace abe

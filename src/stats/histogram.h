@@ -1,0 +1,45 @@
+// Value histogram with quantile queries.
+//
+// Used by the delay-tail experiments (E10) and by tests validating that
+// sampled delay distributions match their closed-form quantiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abe {
+
+class Histogram {
+ public:
+  // Keeps raw samples (simulations here are small enough that exact
+  // quantiles are affordable and more trustworthy than sketches).
+  Histogram() = default;
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::uint64_t count() const { return samples_.size(); }
+  double mean() const;
+
+  // Exact q-quantile with linear interpolation; q in [0, 1].
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+
+  // Fraction of samples strictly greater than x (empirical tail P(X > x)).
+  double tail_fraction(double x) const;
+
+  // Renders an ASCII bar chart with `bins` equal-width bins over the sample
+  // range; `width` is the maximum bar width in characters.
+  std::string ascii(int bins = 20, int width = 50) const;
+
+ private:
+  // Sorts lazily; `sorted_` tracks validity.
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace abe

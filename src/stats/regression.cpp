@@ -1,0 +1,75 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace abe {
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  ABE_CHECK_EQ(x.size(), y.size());
+  ABE_CHECK_GE(x.size(), 2u);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  ABE_CHECK_GT(sxx, 0.0) << "x values must not all be equal";
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit fit_loglog(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  ABE_CHECK_EQ(x.size(), y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ABE_CHECK_GT(x[i], 0.0);
+    ABE_CHECK_GT(y[i], 0.0);
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+double correlation(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  ABE_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return std::numeric_limits<double>::quiet_NaN();
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace abe

@@ -1,0 +1,30 @@
+// Least-squares fits used to verify complexity claims.
+//
+// The paper claims linear expected time/message complexity. The benches fit
+// measured(n) against n directly (R² of a linear fit) and also fit the
+// log-log slope: slope ≈ 1.0 ⇒ linear, ≈ 1 + log factor drifts above 1.
+#pragma once
+
+#include <vector>
+
+namespace abe {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+// Ordinary least squares of y against x. Requires >= 2 distinct x values.
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+// Fits log(y) against log(x); slope estimates the polynomial degree.
+// Requires all x, y > 0.
+LinearFit fit_loglog(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+// Pearson correlation coefficient; NaN when either variance is zero.
+double correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace abe

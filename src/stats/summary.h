@@ -1,0 +1,52 @@
+// Streaming summary statistics (Welford) with confidence intervals.
+//
+// Every experiment in bench/ reports mean ± CI over repeated seeded trials;
+// this is the single implementation they all share.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace abe {
+
+class Summary {
+ public:
+  Summary() = default;
+
+  void add(double x);
+
+  // Merges another summary (parallel Welford combination).
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;
+  // Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+  // Standard error of the mean (stddev / sqrt(n)).
+  double std_error() const;
+
+  // Half-width of a ~95% confidence interval for the mean, using Student-t
+  // critical values for small n and the normal 1.96 asymptote otherwise.
+  double ci95_half_width() const;
+
+  // "mean ± hw (n=…)" for logs.
+  std::string to_string() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Two-sided Student-t 97.5% critical value for `dof` degrees of freedom.
+// Exact table for small dof, 1.96 asymptotically.
+double t_critical_975(std::uint64_t dof);
+
+}  // namespace abe

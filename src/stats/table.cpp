@@ -1,0 +1,58 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace abe {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ABE_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ABE_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_int(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  if (!title.empty()) {
+    os << "== " << title << " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 1;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 3;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace abe

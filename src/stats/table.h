@@ -1,0 +1,35 @@
+// ASCII table printer.
+//
+// Every bench binary prints its results as the rows a paper table would
+// show; this formatter keeps them aligned and machine-greppable
+// (cells are also emitted as "key=value" comments when requested).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abe {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends one row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(std::int64_t v);
+
+  // Renders with column alignment, a header underline, and optional title.
+  std::string render(const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abe

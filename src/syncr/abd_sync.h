@@ -1,0 +1,88 @@
+// Timeout-based ABD synchronizer (after Tel, Korach & Zaks, IEEE/ACM ToN
+// 1994: "Synchronizing ABD networks").
+//
+// On an ABD network a sure bound Δ on the message delay is known, so rounds
+// can be driven purely by local clocks: node starts round r at local time
+// (r−1)·P and closes it at r·P. With ideal clocks and P > Δ every round-r
+// message arrives inside round r, no acknowledgement or null message is ever
+// needed — ZERO synchronization overhead, far below Theorem 1's n-per-round
+// bound. That is legal for ABD because ABD networks are a strictly smaller
+// class than ABE/asynchronous ones.
+//
+// On an ABE network no such Δ exists: whatever period P = c·δ is chosen, a
+// message overshoots its round with positive probability (e.g. e^{-c} for
+// exponential delays), and the synchronizer silently corrupts the simulated
+// synchronous execution. This module *detects and counts* those violations
+// (late envelopes, dropped from their round) — bench E6 sweeps c and the
+// delay law to chart the failure probability the paper's Theorem 1 warns
+// about. Clock drift (Definition 1(2)) breaks it too: local round windows
+// slide apart; the bench includes that row as well.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/network.h"
+#include "net/node.h"
+#include "syncr/sync_app.h"
+
+namespace abe {
+
+class AbdSyncNode final : public Node {
+ public:
+  // `period_local` is P in local-clock units.
+  AbdSyncNode(std::unique_ptr<SyncApp> app, std::uint64_t max_rounds,
+              double period_local);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, std::size_t in_index,
+                  const Payload& payload) override;
+  void on_timer(Context& ctx, TimerId id, std::uint64_t tag) override;
+
+  std::string state_string() const override;
+  bool is_terminated() const override { return finished_; }
+
+  std::uint64_t rounds_completed() const { return rounds_completed_; }
+  std::uint64_t late_messages() const { return late_; }
+  const SyncApp& app() const { return *app_; }
+
+ private:
+  void emit_round(Context& ctx, std::uint64_t round,
+                  std::vector<SyncOutgoing> app_msgs);
+
+  std::unique_ptr<SyncApp> app_;
+  std::uint64_t max_rounds_;
+  double period_local_;
+  std::uint64_t closed_rounds_ = 0;  // rounds whose window has ended
+  std::uint64_t rounds_completed_ = 0;
+  std::uint64_t late_ = 0;
+  bool finished_ = false;
+  SyncAppContext app_ctx_{};
+  std::map<std::uint64_t, std::vector<SyncIncoming>> inbox_;
+};
+
+struct AbdRunResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages_total = 0;  // app messages only; no sync overhead
+  double messages_per_round = 0.0;
+  std::uint64_t late_messages = 0;   // envelopes missing their round window
+  double late_fraction = 0.0;        // late / delivered app messages
+  std::vector<std::int64_t> outputs;
+  bool outputs_match_reference = false;
+  bool completed = false;
+};
+
+// Runs the app under the ABD synchronizer with round period
+// `period = multiplier × delay->mean_delay()` and compares the outputs with
+// the lock-step reference execution.
+AbdRunResult run_abd_synchronizer(const Topology& topology,
+                                  const SyncAppFactory& factory,
+                                  std::uint64_t rounds,
+                                  const DelayModelPtr& delay,
+                                  double period_multiplier,
+                                  std::uint64_t seed = 1,
+                                  ClockBounds clock_bounds = {},
+                                  DriftModel drift = DriftModel::kNone);
+
+}  // namespace abe

@@ -1,0 +1,99 @@
+#include "syncr/apps.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "net/message.h"
+#include "util/check.h"
+
+namespace abe {
+
+namespace {
+
+// Builds one IntPayload message per out-channel.
+std::vector<SyncOutgoing> flood(std::size_t out_degree, std::int64_t value) {
+  std::vector<SyncOutgoing> out;
+  out.reserve(out_degree);
+  for (std::size_t c = 0; c < out_degree; ++c) {
+    out.push_back(SyncOutgoing{c, std::make_unique<IntPayload>(value)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SyncOutgoing> SyncBroadcastApp::on_init(SyncAppContext& ctx) {
+  if (informed_ && !announced_) {
+    announced_ = true;
+    return flood(ctx.out_degree, 0);
+  }
+  return {};
+}
+
+std::vector<SyncOutgoing> SyncBroadcastApp::on_round(
+    SyncAppContext& ctx, std::uint64_t round,
+    const std::vector<SyncIncoming>& inbox) {
+  if (!informed_ && !inbox.empty()) {
+    informed_ = true;
+    informed_round_ = static_cast<std::int64_t>(round);
+  }
+  if (informed_ && !announced_) {
+    announced_ = true;
+    return flood(ctx.out_degree, 0);
+  }
+  return {};
+}
+
+std::string SyncBroadcastApp::state_string() const {
+  std::ostringstream os;
+  os << (informed_ ? "informed@" : "waiting");
+  if (informed_) os << informed_round_;
+  return os.str();
+}
+
+std::vector<SyncOutgoing> SyncMaxApp::broadcast(SyncAppContext& ctx) const {
+  return flood(ctx.out_degree, value_);
+}
+
+std::vector<SyncOutgoing> SyncMaxApp::on_init(SyncAppContext& ctx) {
+  last_sent_ = value_;
+  return broadcast(ctx);
+}
+
+std::vector<SyncOutgoing> SyncMaxApp::on_round(
+    SyncAppContext& ctx, std::uint64_t /*round*/,
+    const std::vector<SyncIncoming>& inbox) {
+  for (const auto& msg : inbox) {
+    const auto& payload = payload_as<IntPayload>(*msg.payload);
+    value_ = std::max(value_, payload.value());
+  }
+  // Re-flood only on improvement; keeps message counts meaningful.
+  if (value_ != last_sent_) {
+    last_sent_ = value_;
+    return broadcast(ctx);
+  }
+  return {};
+}
+
+SyncAppFactory broadcast_app_factory(std::size_t root) {
+  return [root](std::size_t node) -> std::unique_ptr<SyncApp> {
+    return std::make_unique<SyncBroadcastApp>(node == root);
+  };
+}
+
+SyncAppFactory max_app_factory(std::vector<std::int64_t> values) {
+  auto shared = std::make_shared<std::vector<std::int64_t>>(std::move(values));
+  return [shared](std::size_t node) -> std::unique_ptr<SyncApp> {
+    ABE_CHECK_LT(node, shared->size());
+    return std::make_unique<SyncMaxApp>((*shared)[node]);
+  };
+}
+
+SyncAppFactory counter_app_factory() {
+  return [](std::size_t) -> std::unique_ptr<SyncApp> {
+    return std::make_unique<SyncCounterApp>();
+  };
+}
+
+}  // namespace abe

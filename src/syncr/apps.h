@@ -1,0 +1,83 @@
+// Synchronous demo applications run under the synchronizers.
+//
+// All three are deterministic and inbox-order-insensitive, so their per-node
+// outputs are directly comparable across SyncRunner / α / ABD executions —
+// any divergence indicts the synchronizer (that is exactly what bench E6
+// measures for the ABD synchronizer on ABE delays).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "syncr/sync_app.h"
+
+namespace abe {
+
+// Flooding broadcast from a root: round-r wavefront. Output: the round in
+// which the node first heard the token (0 for the root, -1 if never).
+// On bidirectional topologies this computes BFS depth.
+class SyncBroadcastApp final : public SyncApp {
+ public:
+  explicit SyncBroadcastApp(bool is_root) : informed_(is_root) {}
+
+  std::vector<SyncOutgoing> on_init(SyncAppContext& ctx) override;
+  std::vector<SyncOutgoing> on_round(
+      SyncAppContext& ctx, std::uint64_t round,
+      const std::vector<SyncIncoming>& inbox) override;
+  std::int64_t output() const override {
+    return informed_ ? informed_round_ : -1;
+  }
+  std::string state_string() const override;
+
+ private:
+  bool informed_;
+  std::int64_t informed_round_ = 0;
+  bool announced_ = false;
+};
+
+// Max consensus: every node starts with a value and floods the maximum it
+// has seen every round; after diameter-many rounds all outputs equal the
+// global maximum.
+class SyncMaxApp final : public SyncApp {
+ public:
+  explicit SyncMaxApp(std::int64_t initial) : value_(initial) {}
+
+  std::vector<SyncOutgoing> on_init(SyncAppContext& ctx) override;
+  std::vector<SyncOutgoing> on_round(
+      SyncAppContext& ctx, std::uint64_t round,
+      const std::vector<SyncIncoming>& inbox) override;
+  std::int64_t output() const override { return value_; }
+
+ private:
+  std::vector<SyncOutgoing> broadcast(SyncAppContext& ctx) const;
+  std::int64_t value_;
+  std::int64_t last_sent_ = INT64_MIN;
+};
+
+// Sends nothing, ever; output = number of rounds executed. Under the ABD
+// synchronizer this runs with ZERO messages — the contrast to Theorem 1's
+// n-messages-per-round floor for ABE/asynchronous networks.
+class SyncCounterApp final : public SyncApp {
+ public:
+  std::vector<SyncOutgoing> on_init(SyncAppContext&) override { return {}; }
+  std::vector<SyncOutgoing> on_round(
+      SyncAppContext&, std::uint64_t,
+      const std::vector<SyncIncoming>&) override {
+    ++rounds_;
+    return {};
+  }
+  std::int64_t output() const override {
+    return static_cast<std::int64_t>(rounds_);
+  }
+
+ private:
+  std::uint64_t rounds_ = 0;
+};
+
+// Factory helpers binding per-node construction.
+SyncAppFactory broadcast_app_factory(std::size_t root);
+// Initial value of node i is `values[i]`.
+SyncAppFactory max_app_factory(std::vector<std::int64_t> values);
+SyncAppFactory counter_app_factory();
+
+}  // namespace abe

@@ -1,0 +1,23 @@
+#include "syncr/sync_app.h"
+
+#include <sstream>
+
+namespace abe {
+
+SyncEnvelope::SyncEnvelope(std::uint64_t round, PayloadPtr app)
+    : round_(round), app_(app.release()) {}
+
+std::unique_ptr<Payload> SyncEnvelope::clone() const {
+  auto copy = std::make_unique<SyncEnvelope>(round_);
+  copy->app_ = app_;  // immutable payloads share safely
+  return copy;
+}
+
+std::string SyncEnvelope::describe() const {
+  std::ostringstream os;
+  os << "Sync(r=" << round_ << ", "
+     << (app_ ? app_->describe() : std::string("null")) << ")";
+  return os.str();
+}
+
+}  // namespace abe

@@ -1,0 +1,90 @@
+// Synchronous-algorithm interface shared by all synchronizers.
+//
+// A SyncApp is a round-based algorithm written for an ideal synchronous
+// network: in every round each node sends at most one message per out-channel
+// and receives everything its in-neighbours sent that round. The same app
+// object can run on
+//   * SyncRunner        — the ideal lock-step executor (ground truth),
+//   * AlphaSynchronizer — Awerbuch's α on an asynchronous/ABE network,
+//   * AbdSynchronizer   — the timeout-based synchronizer that is only sound
+//                         when a sure delay bound exists (ABD networks).
+// Comparing per-node outputs across executors is how the tests certify a
+// synchronizer, and how bench E6 demonstrates where the ABD one breaks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/rng.h"
+
+namespace abe {
+
+// What a SyncApp sees of its node: local shape plus a private random stream.
+struct SyncAppContext {
+  std::size_t node_index = 0;
+  std::size_t out_degree = 0;
+  std::size_t in_degree = 0;
+  std::size_t network_size = 0;
+  Rng* rng = nullptr;
+};
+
+struct SyncOutgoing {
+  std::size_t out_index = 0;
+  PayloadPtr payload;
+};
+
+struct SyncIncoming {
+  std::size_t in_index = 0;
+  std::shared_ptr<const Payload> payload;
+};
+
+class SyncApp {
+ public:
+  virtual ~SyncApp() = default;
+
+  // Messages for round 1 (sent before anything is received).
+  virtual std::vector<SyncOutgoing> on_init(SyncAppContext& ctx) = 0;
+
+  // Handles the complete round-`round` inbox; returns messages for
+  // round + 1. Called once per round in increasing round order.
+  virtual std::vector<SyncOutgoing> on_round(
+      SyncAppContext& ctx, std::uint64_t round,
+      const std::vector<SyncIncoming>& inbox) = 0;
+
+  // Scalar result of the computation (e.g. BFS distance); compared across
+  // executors by tests/benches.
+  virtual std::int64_t output() const = 0;
+
+  virtual std::string state_string() const { return ""; }
+};
+
+using SyncAppFactory =
+    std::function<std::unique_ptr<SyncApp>(std::size_t node_index)>;
+
+// Wire format used by the network-based synchronizers: an app payload (or an
+// explicit "nothing this round" marker) tagged with its round number.
+class SyncEnvelope final : public Payload {
+ public:
+  // Marker envelope (no app payload) for `round`.
+  explicit SyncEnvelope(std::uint64_t round) : round_(round) {}
+  // Envelope carrying an app payload for `round`.
+  SyncEnvelope(std::uint64_t round, PayloadPtr app);
+
+  std::uint64_t round() const { return round_; }
+  bool has_app() const { return app_ != nullptr; }
+  // Shared because the receiving synchronizer buffers envelopes per round.
+  std::shared_ptr<const Payload> app() const { return app_; }
+
+  std::unique_ptr<Payload> clone() const override;
+  std::string describe() const override;
+
+ private:
+  std::uint64_t round_;
+  std::shared_ptr<const Payload> app_;
+};
+
+}  // namespace abe

@@ -1,0 +1,28 @@
+// The ideal synchronous executor: ground truth for synchronizer tests.
+//
+// Runs a SyncApp per node in true lock-step rounds with instant, reliable
+// delivery. No scheduler, no delays — this is the semantics the
+// synchronizers must reproduce on top of an asynchronous network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "syncr/sync_app.h"
+
+namespace abe {
+
+struct SyncRunResult {
+  std::uint64_t rounds_executed = 0;
+  std::uint64_t messages_sent = 0;
+  std::vector<std::int64_t> outputs;  // per node, after the final round
+};
+
+// Executes `rounds` lock-step rounds of the app on `topology`.
+// `seed` feeds the per-node app RNG streams (apps may be probabilistic).
+SyncRunResult run_synchronous(const Topology& topology,
+                              const SyncAppFactory& factory,
+                              std::uint64_t rounds, std::uint64_t seed = 1);
+
+}  // namespace abe

@@ -1,0 +1,74 @@
+#include "trace/trace.h"
+
+#include <sstream>
+
+namespace abe {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend:
+      return "SEND";
+    case TraceKind::kDeliver:
+      return "DELIVER";
+    case TraceKind::kDrop:
+      return "DROP";
+    case TraceKind::kTick:
+      return "TICK";
+    case TraceKind::kTimer:
+      return "TIMER";
+    case TraceKind::kStateChange:
+      return "STATE";
+    case TraceKind::kRoundStart:
+      return "ROUND";
+    case TraceKind::kCustom:
+      return "CUSTOM";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  std::ostringstream os;
+  os << "[t=" << time << "] " << trace_kind_name(kind) << " node=" << node
+     << " " << detail;
+  return os.str();
+}
+
+void Trace::record(SimTime time, TraceKind kind, NodeId node,
+                   std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{time, kind, node, std::move(detail)});
+}
+
+std::vector<TraceEvent> Trace::filter(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::for_node(NodeId node) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.node == node) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Trace::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << e.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace abe

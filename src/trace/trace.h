@@ -1,0 +1,68 @@
+// Structured event tracing.
+//
+// Tests assert on exact event sequences of small scenarios; examples can dump
+// a readable run transcript. Tracing is off by default and has near-zero cost
+// when disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace abe {
+
+enum class TraceKind : std::uint8_t {
+  kSend,
+  kDeliver,
+  kDrop,
+  kTick,
+  kTimer,
+  kStateChange,
+  kRoundStart,
+  kCustom,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  SimTime time = 0.0;
+  TraceKind kind = TraceKind::kCustom;
+  NodeId node;          // primary node involved (receiver for deliveries)
+  std::string detail;   // free-form, e.g. "hop=3" or "idle->passive"
+
+  std::string to_string() const;
+};
+
+class Trace {
+ public:
+  // Disabled by default; enable() before the run to record.
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void record(SimTime time, TraceKind kind, NodeId node, std::string detail);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  // All events of one kind, in order.
+  std::vector<TraceEvent> filter(TraceKind kind) const;
+
+  // All events touching one node, in order.
+  std::vector<TraceEvent> for_node(NodeId node) const;
+
+  // Number of recorded events of `kind`.
+  std::size_t count(TraceKind kind) const;
+
+  // Full transcript, one event per line.
+  std::string to_string() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace abe

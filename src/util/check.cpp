@@ -1,0 +1,19 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace abe {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  std::fprintf(stderr, "ABE_CHECK failed at %s:%d: %s", file, line, expr);
+  if (!msg.empty()) {
+    std::fprintf(stderr, " — %s", msg.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace abe

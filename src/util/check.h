@@ -1,0 +1,58 @@
+// Checked assertions that stay enabled in release builds.
+//
+// The simulator is a measurement instrument: a silently-violated invariant
+// would corrupt every experiment downstream, so contract checks abort with a
+// useful message instead of compiling away under NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace abe {
+
+// Aborts the process after printing `msg` with source location.
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+
+namespace detail {
+
+// Collects the streamed context message, then aborts in its destructor (the
+// end of the full expression), so `ABE_CHECK(x) << "why"` includes "why".
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckFailure() { check_failed(file_, line_, expr_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace abe
+
+// ABE_CHECK(cond) << "context";  -- aborts with message when cond is false.
+#define ABE_CHECK(cond)                                                  \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::abe::detail::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+// Comparison forms that show both operands on failure.
+#define ABE_CHECK_OP(op, a, b)                                           \
+  if ((a)op(b)) {                                                        \
+  } else                                                                 \
+    ::abe::detail::CheckFailure(__FILE__, __LINE__, #a " " #op " " #b)   \
+            .stream()                                                    \
+        << "lhs=" << (a) << " rhs=" << (b) << " "
+
+#define ABE_CHECK_EQ(a, b) ABE_CHECK_OP(==, a, b)
+#define ABE_CHECK_NE(a, b) ABE_CHECK_OP(!=, a, b)
+#define ABE_CHECK_LT(a, b) ABE_CHECK_OP(<, a, b)
+#define ABE_CHECK_LE(a, b) ABE_CHECK_OP(<=, a, b)
+#define ABE_CHECK_GT(a, b) ABE_CHECK_OP(>, a, b)
+#define ABE_CHECK_GE(a, b) ABE_CHECK_OP(>=, a, b)

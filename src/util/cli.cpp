@@ -1,0 +1,71 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace abe {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--flag value` form: consume the next token when it is not a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "";  // bare boolean flag
+    }
+  }
+}
+
+std::string CliFlags::get_string(const std::string& name,
+                                 const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name,
+                               std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  ABE_CHECK(!it->second.empty()) << "flag --" << name << " needs a value";
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliFlags::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  ABE_CHECK(!it->second.empty()) << "flag --" << name << " needs a value";
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  ABE_CHECK(false) << "flag --" << name << " has non-boolean value '" << v
+                   << "'";
+  return def;
+}
+
+bool CliFlags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+}  // namespace abe

@@ -1,0 +1,42 @@
+// Minimal command-line flag parser for the example binaries.
+//
+// Supports `--flag=value`, `--flag value` and boolean `--flag`. Examples use
+// this so every scenario is tweakable without recompiling; the parser is
+// deliberately tiny (no external dependencies are permitted in this repo).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace abe {
+
+class CliFlags {
+ public:
+  // Parses argv; unknown flags are retained and reported by unknown_flags().
+  CliFlags(int argc, char** argv);
+
+  // Typed getters with defaults. A flag present without value reads as "true"
+  // for get_bool and is an error for numeric getters.
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  bool has(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace abe

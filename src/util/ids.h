@@ -1,0 +1,81 @@
+// Strong identifier types shared across the library.
+//
+// NodeId / ChannelId are plain integers at runtime but distinct C++ types, so
+// a channel index can never be passed where a node index is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace abe {
+
+namespace detail {
+
+// CRTP-free tagged integer. Tag makes each instantiation a distinct type.
+template <typename Tag>
+class TaggedId {
+ public:
+  using value_type = std::int64_t;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(value_type v) : value_(v) {}
+
+  constexpr value_type value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(TaggedId a, TaggedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TaggedId a, TaggedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TaggedId a, TaggedId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator<=(TaggedId a, TaggedId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>(TaggedId a, TaggedId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator>=(TaggedId a, TaggedId b) {
+    return a.value_ >= b.value_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    return os << id.value_;
+  }
+
+ private:
+  value_type value_ = -1;
+};
+
+}  // namespace detail
+
+struct NodeIdTag {};
+struct ChannelIdTag {};
+struct TimerIdTag {};
+struct EventIdTag {};
+
+// Index of a node within one network instance.
+using NodeId = detail::TaggedId<NodeIdTag>;
+// Index of a directed channel within one network instance.
+using ChannelId = detail::TaggedId<ChannelIdTag>;
+// Handle for a pending timer; cancellable.
+using TimerId = detail::TaggedId<TimerIdTag>;
+// Handle for a scheduled simulator event; cancellable.
+using EventId = detail::TaggedId<EventIdTag>;
+
+constexpr NodeId kInvalidNode{};
+constexpr ChannelId kInvalidChannel{};
+
+}  // namespace abe
+
+namespace std {
+template <typename Tag>
+struct hash<abe::detail::TaggedId<Tag>> {
+  size_t operator()(abe::detail::TaggedId<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

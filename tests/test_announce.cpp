@@ -1,0 +1,62 @@
+// Tests for the leader-announcement extension (full termination + ring
+// indexing as a by-product).
+#include "core/announce.h"
+
+#include <gtest/gtest.h>
+
+namespace abe {
+namespace {
+
+TEST(Announce, SingleNode) {
+  const auto r = run_announced_election(1, 0.3, 1);
+  ASSERT_TRUE(r.all_done);
+  EXPECT_TRUE(r.distances_consistent);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Announce, EveryNodeLearnsAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto r =
+        run_announced_election(10, linear_regime_a0(10, 4.0), seed);
+    ASSERT_TRUE(r.all_done) << "seed=" << seed;
+    ASSERT_TRUE(r.distances_consistent) << "seed=" << seed;
+  }
+}
+
+TEST(Announce, DistancesFormRingIndexing) {
+  const auto r = run_announced_election(16, linear_regime_a0(16, 4.0), 9);
+  ASSERT_TRUE(r.all_done);
+  // distances_consistent already asserts that node (leader + d) mod n has
+  // distance d for every d — i.e. the ring is now indexed.
+  EXPECT_TRUE(r.distances_consistent);
+  EXPECT_LT(r.leader_index, 16u);
+}
+
+TEST(Announce, CostsExactlyOneExtraCirculation) {
+  // The announce wave adds exactly n messages on top of the election.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::size_t n = 12;
+    const auto r = run_announced_election(n, linear_regime_a0(n), seed);
+    ASSERT_TRUE(r.all_done);
+    // Election alone needs >= n (the winner's token) and the wave adds n.
+    EXPECT_GE(r.messages, 2 * n);
+  }
+}
+
+TEST(Announce, WorksUnderHeavyTailDelays) {
+  for (const char* delay : {"fixed", "lomax", "georetx"}) {
+    const auto r =
+        run_announced_election(9, linear_regime_a0(9, 2.0), 33, delay);
+    ASSERT_TRUE(r.all_done) << delay;
+    ASSERT_TRUE(r.distances_consistent) << delay;
+  }
+}
+
+TEST(Announce, TwoNodes) {
+  const auto r = run_announced_election(2, 0.2, 4);
+  ASSERT_TRUE(r.all_done);
+  EXPECT_TRUE(r.distances_consistent);
+}
+
+}  // namespace
+}  // namespace abe

@@ -1,0 +1,71 @@
+// Tests for the stop-and-wait ARQ substrate — the mechanism behind the
+// paper's case (iii): unbounded delay with bounded expectation 1/p.
+#include "net/arq.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+
+namespace abe {
+namespace {
+
+TEST(Arq, PerfectChannelOneAttemptPerPacket) {
+  const ArqResult r = run_arq_experiment(/*p=*/1.0, /*packets=*/200,
+                                         /*slot=*/1.0, /*seed=*/1);
+  EXPECT_EQ(r.packets, 200u);
+  EXPECT_DOUBLE_EQ(r.mean_attempts, 1.0);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_DOUBLE_EQ(r.predicted_attempts, 1.0);
+}
+
+TEST(Arq, MeanAttemptsMatchesOneOverP) {
+  for (double p : {0.8, 0.5, 0.3}) {
+    const ArqResult r = run_arq_experiment(p, 3000, 1.0, 7);
+    EXPECT_EQ(r.packets, 3000u);
+    EXPECT_NEAR(r.mean_attempts, expected_transmissions(p),
+                0.1 * expected_transmissions(p))
+        << "p=" << p;
+  }
+}
+
+TEST(Arq, LatencyScalesWithAttempts) {
+  const ArqResult fast = run_arq_experiment(0.9, 1000, 1.0, 3);
+  const ArqResult slow = run_arq_experiment(0.3, 1000, 1.0, 3);
+  EXPECT_GT(slow.mean_latency, fast.mean_latency * 2);
+  // Each attempt costs ~one timeout (1.05 slots); latency ≈ attempts·slot.
+  EXPECT_NEAR(slow.mean_latency, slow.mean_attempts * 1.05, 0.6);
+}
+
+TEST(Arq, AllPacketsEventuallyDelivered) {
+  // Even a terrible channel (p = 0.1) delivers everything: delay is
+  // unbounded but finite w.p. 1 — the essence of the ABE argument.
+  const ArqResult r = run_arq_experiment(0.1, 300, 1.0, 11);
+  EXPECT_EQ(r.packets, 300u);
+  EXPECT_NEAR(r.mean_attempts, 10.0, 1.5);
+}
+
+TEST(Arq, DeterministicGivenSeed) {
+  const ArqResult a = run_arq_experiment(0.5, 500, 1.0, 42);
+  const ArqResult b = run_arq_experiment(0.5, 500, 1.0, 42);
+  EXPECT_EQ(a.mean_attempts, b.mean_attempts);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+}
+
+TEST(Arq, DifferentSlotTime) {
+  const ArqResult r = run_arq_experiment(0.5, 1000, 4.0, 5);
+  // Mean latency should scale with the slot: ~ attempts * 4.2.
+  EXPECT_NEAR(r.mean_latency, r.mean_attempts * 4.2, 2.0);
+}
+
+TEST(Arq, PayloadDescribe) {
+  ArqPayload data(ArqPayload::Kind::kData, 7);
+  ArqPayload ack(ArqPayload::Kind::kAck, 7);
+  EXPECT_EQ(data.describe(), "DATA(7)");
+  EXPECT_EQ(ack.describe(), "ACK(7)");
+  auto clone = data.clone();
+  EXPECT_EQ(clone->describe(), "DATA(7)");
+}
+
+}  // namespace
+}  // namespace abe

@@ -1,0 +1,176 @@
+// Unit and statistical tests for the delay models — the heart of the ABE
+// assumption: every model must report an exact mean (the δ an algorithm may
+// know) while its samples may be unbounded.
+#include "net/delay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace abe {
+namespace {
+
+// Statistical check: the empirical mean of `model` matches mean_delay().
+void expect_mean_matches(const DelayModelPtr& model, double tolerance,
+                         int samples = 200000) {
+  Rng rng(1234);
+  double sum = 0;
+  for (int i = 0; i < samples; ++i) {
+    const double d = model->sample(rng);
+    ASSERT_GE(d, 0.0) << model->name();
+    sum += d;
+  }
+  EXPECT_NEAR(sum / samples, model->mean_delay(), tolerance) << model->name();
+}
+
+TEST(Delay, FixedIsDeterministic) {
+  const auto model = fixed_delay(2.5);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model->sample(rng), 2.5);
+  }
+  EXPECT_EQ(model->mean_delay(), 2.5);
+  EXPECT_TRUE(model->bounded());
+  EXPECT_EQ(model->worst_case(), 2.5);
+}
+
+TEST(Delay, FixedZeroAllowed) {
+  const auto model = fixed_delay(0.0);
+  Rng rng(1);
+  EXPECT_EQ(model->sample(rng), 0.0);
+}
+
+TEST(Delay, UniformBoundsAndMean) {
+  const auto model = uniform_delay(1.0, 3.0);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = model->sample(rng);
+    ASSERT_GE(d, 1.0);
+    ASSERT_LE(d, 3.0);
+  }
+  EXPECT_EQ(model->mean_delay(), 2.0);
+  EXPECT_TRUE(model->bounded());
+  EXPECT_EQ(model->worst_case(), 3.0);
+  expect_mean_matches(model, 0.02);
+}
+
+TEST(Delay, ExponentialMeanAndUnbounded) {
+  const auto model = exponential_delay(1.5);
+  EXPECT_EQ(model->mean_delay(), 1.5);
+  EXPECT_FALSE(model->bounded());
+  EXPECT_TRUE(std::isinf(model->worst_case()));
+  expect_mean_matches(model, 0.03);
+}
+
+TEST(Delay, ShiftedExponentialRespectsOffset) {
+  const auto model = shifted_exponential_delay(1.0, 0.5);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(model->sample(rng), 1.0);
+  }
+  EXPECT_EQ(model->mean_delay(), 1.5);
+  expect_mean_matches(model, 0.02);
+}
+
+TEST(Delay, ErlangMean) {
+  const auto model = erlang_delay(4, 2.0);
+  EXPECT_EQ(model->mean_delay(), 2.0);
+  expect_mean_matches(model, 0.03);
+}
+
+TEST(Delay, GeometricRetransmissionLaw) {
+  // p = 0.25, slot = 1: mean delay = 4 (the paper's 1/p law).
+  const auto model = geometric_retransmission_delay(0.25, 1.0);
+  EXPECT_EQ(model->mean_delay(), 4.0);
+  EXPECT_FALSE(model->bounded());
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = model->sample(rng);
+    // Delay is a whole number of slots, at least one.
+    ASSERT_GE(d, 1.0);
+    ASSERT_EQ(d, std::floor(d));
+  }
+  expect_mean_matches(model, 0.1);
+}
+
+TEST(Delay, GeometricPerfectChannelIsOneSlot) {
+  const auto model = geometric_retransmission_delay(1.0, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model->sample(rng), 2.0);
+  }
+  EXPECT_EQ(model->mean_delay(), 2.0);
+}
+
+TEST(Delay, LomaxMeanParameterisation) {
+  const auto model = lomax_delay(2.5, 1.0);
+  EXPECT_EQ(model->mean_delay(), 1.0);
+  EXPECT_FALSE(model->bounded());
+  expect_mean_matches(model, 0.1, 400000);  // heavy tail: slow convergence
+}
+
+TEST(Delay, BimodalMeanAndSupport) {
+  const auto model = bimodal_delay(1.0, 10.0, 0.1);
+  EXPECT_NEAR(model->mean_delay(), 1.9, 1e-12);
+  EXPECT_TRUE(model->bounded());
+  EXPECT_EQ(model->worst_case(), 10.0);
+  Rng rng(6);
+  int slow = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = model->sample(rng);
+    ASSERT_TRUE(d == 1.0 || d == 10.0);
+    if (d == 10.0) ++slow;
+  }
+  EXPECT_NEAR(slow / 10000.0, 0.1, 0.02);
+}
+
+TEST(Delay, FactoryNormalisesMeans) {
+  for (const auto& name : standard_delay_model_names()) {
+    const auto model = make_delay_model(name, 2.0);
+    ASSERT_TRUE(model != nullptr) << name;
+    EXPECT_NEAR(model->mean_delay(), 2.0, 1e-9) << name;
+  }
+}
+
+TEST(Delay, FactorySamplesMatchRequestedMean) {
+  for (const auto& name : standard_delay_model_names()) {
+    const auto model = make_delay_model(name, 1.0);
+    const double tol = name == "lomax" ? 0.08 : 0.03;
+    expect_mean_matches(model, tol);
+  }
+}
+
+TEST(Delay, FactoryRejectsUnknownName) {
+  EXPECT_DEATH(make_delay_model("warp-drive", 1.0), "unknown delay model");
+}
+
+TEST(Delay, LomaxRequiresFiniteMeanShape) {
+  Rng rng(7);
+  EXPECT_DEATH(rng.lomax(1.0, 1.0), "alpha");
+}
+
+// The defining ABE property: same mean, wildly different tails. The
+// empirical P(X > 3·mean) must be positive for every unbounded model
+// (3x keeps even the thin Erlang-4 tail, ~2e-3, statistically visible).
+TEST(Delay, TailsDifferAtEqualMean) {
+  Rng rng(8);
+  const int kN = 200000;
+  for (const auto& name : standard_delay_model_names()) {
+    const auto model = make_delay_model(name, 1.0);
+    int tail = 0;
+    for (int i = 0; i < kN; ++i) {
+      if (model->sample(rng) > 3.0) ++tail;
+    }
+    if (model->bounded()) {
+      // fixed/uniform/bimodal with mean 1 stay ≤ 10; uniform max is 2.
+      EXPECT_LE(model->worst_case(), 10.0) << name;
+    } else {
+      EXPECT_GT(tail, 0) << name << " should exceed 3x mean sometimes";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abe

@@ -1,0 +1,182 @@
+// Tests for the extension substrate: extra delay laws, the random geometric
+// topology, and the online δ-estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "core/delta_estimator.h"
+#include "net/delay.h"
+#include "net/topology.h"
+#include "sim/rng.h"
+
+namespace abe {
+namespace {
+
+// ------------------------- new delay laws -----------------------------
+
+void expect_mean(const DelayModelPtr& model, double tol,
+                 int samples = 300000) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < samples; ++i) {
+    const double d = model->sample(rng);
+    ASSERT_GE(d, 0.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / samples, model->mean_delay(), tol) << model->name();
+}
+
+TEST(DelayExt, WeibullMeanParameterisation) {
+  expect_mean(weibull_delay(0.7, 2.0), 0.06);
+  expect_mean(weibull_delay(2.0, 1.0), 0.02);
+}
+
+TEST(DelayExt, WeibullShapeControlsTail) {
+  Rng rng(7);
+  const auto heavy = weibull_delay(0.5, 1.0);
+  const auto light = weibull_delay(3.0, 1.0);
+  int heavy_tail = 0, light_tail = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (heavy->sample(rng) > 4.0) ++heavy_tail;
+    if (light->sample(rng) > 4.0) ++light_tail;
+  }
+  EXPECT_GT(heavy_tail, light_tail * 10);
+}
+
+TEST(DelayExt, LognormalMeanParameterisation) {
+  expect_mean(lognormal_delay(1.5, 1.0), 0.06);
+  expect_mean(lognormal_delay(1.0, 0.25), 0.02);
+}
+
+TEST(DelayExt, HyperexponentialMeanAndVariance) {
+  const auto model = hyperexponential_delay(0.5, 5.0, 0.2);
+  EXPECT_NEAR(model->mean_delay(), 1.4, 1e-12);
+  expect_mean(model, 0.05);
+  // Its variance must exceed an exponential of equal mean.
+  Rng rng(5);
+  const auto expo = exponential_delay(1.4);
+  double sq_h = 0, sq_e = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const double h = model->sample(rng) - 1.4;
+    const double e = expo->sample(rng) - 1.4;
+    sq_h += h * h;
+    sq_e += e * e;
+  }
+  EXPECT_GT(sq_h, sq_e * 1.5);
+}
+
+TEST(DelayExt, FactoryCoversNewModels) {
+  for (const char* name : {"weibull", "lognormal", "hyperexp"}) {
+    const auto model = make_delay_model(name, 2.5);
+    EXPECT_NEAR(model->mean_delay(), 2.5, 1e-9) << name;
+    EXPECT_FALSE(model->bounded()) << name;
+  }
+  EXPECT_EQ(standard_delay_model_names().size(), 11u);
+}
+
+// ------------------------- geometric topology --------------------------
+
+TEST(GeometricTopology, ConnectedAndSymmetric) {
+  Rng rng(42);
+  const Topology t = random_geometric(40, 0.2, rng);
+  EXPECT_TRUE(is_strongly_connected(t));
+  // Both directions of every radio link exist.
+  std::set<std::pair<std::size_t, std::size_t>> edges;
+  for (const Edge& e : t.edges) edges.insert({e.from, e.to});
+  for (const Edge& e : t.edges) {
+    EXPECT_TRUE(edges.count({e.to, e.from})) << e.from << "->" << e.to;
+  }
+}
+
+TEST(GeometricTopology, PositionsMatchEdges) {
+  Rng rng(7);
+  std::vector<double> pos;
+  const Topology t = random_geometric(25, 0.3, rng, &pos);
+  ASSERT_EQ(pos.size(), 50u);
+  // Edges connect nodes within some radius r; all edge lengths must be
+  // below the maximum edge length implied by connectivity growth (sanity:
+  // every listed edge is shorter than the diagonal).
+  for (const Edge& e : t.edges) {
+    const double dx = pos[2 * e.from] - pos[2 * e.to];
+    const double dy = pos[2 * e.from + 1] - pos[2 * e.to + 1];
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy), std::sqrt(2.0));
+  }
+}
+
+TEST(GeometricTopology, DeterministicGivenSeed) {
+  Rng a(5), b(5);
+  const Topology ta = random_geometric(30, 0.25, a);
+  const Topology tb = random_geometric(30, 0.25, b);
+  EXPECT_EQ(ta.edge_count(), tb.edge_count());
+}
+
+TEST(GeometricTopology, TinyRadiusStillConnects) {
+  Rng rng(3);
+  const Topology t = random_geometric(20, 0.01, rng);  // grows until joined
+  EXPECT_TRUE(is_strongly_connected(t));
+}
+
+TEST(GeometricTopology, SingleNode) {
+  Rng rng(1);
+  const Topology t = random_geometric(1, 0.1, rng);
+  EXPECT_EQ(t.n, 1u);
+  EXPECT_EQ(t.edge_count(), 0u);
+}
+
+// ------------------------- delta estimator -----------------------------
+
+TEST(DeltaEstimator, BracketsStationaryMean) {
+  DeltaEstimator est;
+  Rng rng(11);
+  const auto model = exponential_delay(2.0);
+  for (int i = 0; i < 5000; ++i) est.observe(model->sample(rng));
+  EXPECT_NEAR(est.mean_estimate(), 2.0, 0.5);
+  EXPECT_GT(est.upper_bound(), 2.0);       // it is a *bound*
+  EXPECT_LT(est.upper_bound(), 2.0 * 10);  // but not a useless one
+}
+
+TEST(DeltaEstimator, WidensImmediatelyOnRegimeShift) {
+  DeltaEstimator est;
+  Rng rng(13);
+  const auto calm = exponential_delay(1.0);
+  const auto storm = exponential_delay(8.0);
+  for (int i = 0; i < 2000; ++i) est.observe(calm->sample(rng));
+  const double before = est.upper_bound();
+  for (int i = 0; i < 2000; ++i) est.observe(storm->sample(rng));
+  EXPECT_GT(est.upper_bound(), before * 2);
+  EXPECT_GT(est.upper_bound(), 8.0);
+}
+
+TEST(DeltaEstimator, TightensOnlySlowly) {
+  DeltaEstimator est;
+  Rng rng(17);
+  const auto storm = exponential_delay(8.0);
+  for (int i = 0; i < 2000; ++i) est.observe(storm->sample(rng));
+  const double peak = est.upper_bound();
+  const auto calm = exponential_delay(1.0);
+  for (int i = 0; i < 50; ++i) est.observe(calm->sample(rng));
+  // 50 quiet samples at <=1% tightening each cannot halve the bound.
+  EXPECT_GT(est.upper_bound(), peak * 0.5);
+}
+
+TEST(DeltaEstimator, FirstSampleInitialises) {
+  DeltaEstimator est;
+  est.observe(3.0);
+  EXPECT_EQ(est.samples(), 1u);
+  EXPECT_DOUBLE_EQ(est.mean_estimate(), 3.0);
+  EXPECT_GT(est.upper_bound(), 3.0);
+}
+
+TEST(DeltaEstimator, BoundHoldsForHeavyTails) {
+  DeltaEstimator est;
+  Rng rng(23);
+  const auto model = lomax_delay(2.5, 1.0);
+  for (int i = 0; i < 20000; ++i) est.observe(model->sample(rng));
+  // The true expected delay is 1.0: the advertised bound must cover it.
+  EXPECT_GT(est.upper_bound(), 1.0);
+}
+
+}  // namespace
+}  // namespace abe

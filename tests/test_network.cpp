@@ -1,0 +1,372 @@
+// Integration-level tests for the discrete-event network runtime.
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace abe {
+namespace {
+
+// Records everything it receives; optionally echoes back on channel 0.
+class SinkNode final : public Node {
+ public:
+  struct Received {
+    SimTime when;
+    std::size_t in_index;
+    std::int64_t value;
+  };
+
+  explicit SinkNode(bool echo = false) : echo_(echo) {}
+
+  void on_message(Context& ctx, std::size_t in_index,
+                  const Payload& payload) override {
+    const auto& msg = payload_as<IntPayload>(payload);
+    received_.push_back(Received{ctx.real_now(), in_index, msg.value()});
+    if (echo_ && ctx.out_degree() > 0) {
+      ctx.send(0, std::make_unique<IntPayload>(msg.value() + 1000));
+    }
+  }
+
+  const std::vector<Received>& received() const { return received_; }
+
+ private:
+  bool echo_;
+  std::vector<Received> received_;
+};
+
+// Sends a burst of numbered messages on start.
+class BurstNode final : public Node {
+ public:
+  explicit BurstNode(int count) : count_(count) {}
+  void on_start(Context& ctx) override {
+    for (int i = 0; i < count_; ++i) {
+      ctx.send(0, std::make_unique<IntPayload>(i));
+    }
+  }
+  void on_message(Context&, std::size_t, const Payload&) override {}
+
+ private:
+  int count_;
+};
+
+NetworkConfig two_node_config(DelayModelPtr delay, ChannelOrdering ordering) {
+  NetworkConfig config;
+  config.topology = line(2);
+  config.delay = std::move(delay);
+  config.ordering = ordering;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Network, DeliversWithFixedDelay) {
+  Network net(two_node_config(fixed_delay(2.0), ChannelOrdering::kFifo));
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(1));
+  net.add_node(NodePtr(sink));
+  net.start();
+  net.run_until_quiescent();
+  ASSERT_EQ(sink->received().size(), 1u);
+  EXPECT_EQ(sink->received()[0].when, 2.0);
+  EXPECT_EQ(sink->received()[0].value, 0);
+  EXPECT_EQ(net.metrics().messages_sent, 1u);
+  EXPECT_EQ(net.metrics().messages_delivered, 1u);
+  EXPECT_EQ(net.metrics().in_flight(), 0u);
+}
+
+TEST(Network, FifoPreservesSendOrderUnderRandomDelay) {
+  Network net(two_node_config(exponential_delay(1.0),
+                              ChannelOrdering::kFifo));
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(100));
+  net.add_node(NodePtr(sink));
+  net.start();
+  net.run_until_quiescent();
+  ASSERT_EQ(sink->received().size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sink->received()[static_cast<std::size_t>(i)].value, i);
+  }
+}
+
+TEST(Network, ArbitraryOrderReordersEventually) {
+  bool reordered = false;
+  for (std::uint64_t seed = 0; seed < 10 && !reordered; ++seed) {
+    NetworkConfig config = two_node_config(exponential_delay(1.0),
+                                           ChannelOrdering::kArbitrary);
+    config.seed = seed;
+    Network net(std::move(config));
+    auto* sink = new SinkNode();
+    net.add_node(std::make_unique<BurstNode>(50));
+    net.add_node(NodePtr(sink));
+    net.start();
+    net.run_until_quiescent();
+    for (std::size_t i = 1; i < sink->received().size(); ++i) {
+      if (sink->received()[i].value < sink->received()[i - 1].value) {
+        reordered = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(reordered) << "arbitrary ordering never reordered messages";
+}
+
+TEST(Network, PerChannelDelayOverride) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(2);  // edges 0->1 and 1->0
+  config.delay = fixed_delay(1.0);
+  config.seed = 1;
+  Network net(std::move(config));
+  net.set_channel_delay(0, fixed_delay(7.0));
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(1));
+  net.add_node(NodePtr(sink));
+  net.start();
+  net.run_until_quiescent();
+  ASSERT_EQ(sink->received().size(), 1u);
+  EXPECT_EQ(sink->received()[0].when, 7.0);
+  EXPECT_EQ(net.expected_delay_bound(), 7.0);
+}
+
+TEST(Network, LossDropsMessages) {
+  NetworkConfig config = two_node_config(fixed_delay(1.0),
+                                         ChannelOrdering::kFifo);
+  config.loss_probability = 0.5;
+  Network net(std::move(config));
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(1000));
+  net.add_node(NodePtr(sink));
+  net.start();
+  net.run_until_quiescent();
+  const auto& m = net.metrics();
+  EXPECT_EQ(m.messages_sent, 1000u);
+  EXPECT_EQ(m.messages_delivered + m.messages_dropped, 1000u);
+  EXPECT_NEAR(static_cast<double>(m.messages_dropped), 500.0, 60.0);
+  EXPECT_EQ(sink->received().size(), m.messages_delivered);
+}
+
+TEST(Network, ProcessingDelaySerialisesHandlers) {
+  NetworkConfig config = two_node_config(fixed_delay(1.0),
+                                         ChannelOrdering::kFifo);
+  config.processing = ProcessingModel::fixed(2.0);
+  Network net(std::move(config));
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(3));
+  net.add_node(NodePtr(sink));
+  net.start();
+  net.run_until_quiescent();
+  ASSERT_EQ(sink->received().size(), 3u);
+  // All arrive at t=1, but the node is busy 2.0 per message: handlers at
+  // 3, 5, 7.
+  EXPECT_EQ(sink->received()[0].when, 3.0);
+  EXPECT_EQ(sink->received()[1].when, 5.0);
+  EXPECT_EQ(sink->received()[2].when, 7.0);
+}
+
+TEST(Network, ZeroProcessingDeliversAtArrival) {
+  Network net(two_node_config(fixed_delay(1.5), ChannelOrdering::kFifo));
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(2));
+  net.add_node(NodePtr(sink));
+  net.start();
+  net.run_until_quiescent();
+  EXPECT_EQ(sink->received()[0].when, 1.5);
+  EXPECT_EQ(sink->received()[1].when, 1.5);
+}
+
+class TimerNode final : public Node {
+ public:
+  void on_start(Context& ctx) override {
+    kept_ = ctx.set_timer_local(5.0, 1);
+    cancelled_ = ctx.set_timer_local(3.0, 2);
+    ctx.cancel_timer(cancelled_);
+  }
+  void on_message(Context&, std::size_t, const Payload&) override {}
+  void on_timer(Context& ctx, TimerId id, std::uint64_t tag) override {
+    fired_.push_back(tag);
+    fired_ids_.push_back(id.value());
+    fire_time_ = ctx.real_now();
+    EXPECT_EQ(id.value(), kept_.value());
+  }
+
+  std::vector<std::uint64_t> fired_;
+  std::vector<std::int64_t> fired_ids_;
+  TimerId kept_{}, cancelled_{};
+  SimTime fire_time_ = -1;
+};
+
+TEST(Network, TimersFireAndCancel) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(1);
+  config.seed = 3;
+  Network net(std::move(config));
+  auto* node = new TimerNode();
+  net.add_node(NodePtr(node));
+  net.start();
+  net.run_until_quiescent();
+  ASSERT_EQ(node->fired_.size(), 1u);
+  EXPECT_EQ(node->fired_[0], 1u);
+  EXPECT_EQ(node->fire_time_, 5.0);
+  EXPECT_EQ(net.metrics().timers_fired, 1u);
+}
+
+TEST(Network, TimerHonoursClockRate) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(1);
+  config.clock_bounds = {2.0, 2.0};  // clock runs 2x fast
+  config.drift = DriftModel::kFixedRandomRate;
+  config.seed = 3;
+  Network net(std::move(config));
+  auto* node = new TimerNode();
+  net.add_node(NodePtr(node));
+  net.start();
+  net.run_until_quiescent();
+  ASSERT_EQ(node->fired_.size(), 1u);
+  // 5 local units at rate 2.0 = 2.5 real units.
+  EXPECT_NEAR(node->fire_time_, 2.5, 1e-9);
+}
+
+class TickCounter final : public Node {
+ public:
+  explicit TickCounter(std::uint64_t stop_after) : stop_after_(stop_after) {}
+  void on_message(Context&, std::size_t, const Payload&) override {}
+  void on_tick(Context& ctx, std::uint64_t tick) override {
+    ++ticks_;
+    times_.push_back(ctx.real_now());
+    EXPECT_EQ(tick, ticks_);
+  }
+  bool is_terminated() const override { return ticks_ >= stop_after_; }
+
+  std::uint64_t ticks_ = 0;
+  std::uint64_t stop_after_;
+  std::vector<SimTime> times_;
+};
+
+TEST(Network, TicksFireAtLocalPeriodAndStopOnTermination) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(1);
+  config.enable_ticks = true;
+  config.tick_local_period = 1.0;
+  config.seed = 4;
+  Network net(std::move(config));
+  auto* node = new TickCounter(5);
+  net.add_node(NodePtr(node));
+  net.start();
+  net.run_until_quiescent(100.0);
+  EXPECT_EQ(node->ticks_, 5u);  // termination stopped the tick train
+  ASSERT_EQ(node->times_.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(node->times_[static_cast<std::size_t>(i)], i + 1.0, 1e-9);
+  }
+  EXPECT_EQ(net.metrics().ticks_fired, 5u);
+}
+
+TEST(Network, SlowClockTicksLater) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(1);
+  config.enable_ticks = true;
+  config.clock_bounds = {0.5, 0.5};
+  config.drift = DriftModel::kFixedRandomRate;
+  config.seed = 4;
+  Network net(std::move(config));
+  auto* node = new TickCounter(3);
+  net.add_node(NodePtr(node));
+  net.start();
+  net.run_until_quiescent(100.0);
+  ASSERT_EQ(node->times_.size(), 3u);
+  // Local period 1 at rate 0.5 = real period 2.
+  EXPECT_NEAR(node->times_[0], 2.0, 1e-9);
+  EXPECT_NEAR(node->times_[2], 6.0, 1e-9);
+}
+
+TEST(Network, RunUntilPredicate) {
+  Network net(two_node_config(fixed_delay(1.0), ChannelOrdering::kFifo));
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(10));
+  net.add_node(NodePtr(sink));
+  net.start();
+  const bool hit = net.run_until(
+      [&] { return sink->received().size() >= 4; }, 100.0);
+  EXPECT_TRUE(hit);
+  EXPECT_GE(sink->received().size(), 4u);
+  EXPECT_LT(sink->received().size(), 10u);
+}
+
+TEST(Network, RunUntilDeadlineMiss) {
+  Network net(two_node_config(fixed_delay(50.0), ChannelOrdering::kFifo));
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(1));
+  net.add_node(NodePtr(sink));
+  net.start();
+  const bool hit = net.run_until(
+      [&] { return !sink->received().empty(); }, 10.0);
+  EXPECT_FALSE(hit);
+}
+
+TEST(Network, TraceRecordsSendAndDeliver) {
+  Network net(two_node_config(fixed_delay(1.0), ChannelOrdering::kFifo));
+  net.trace().enable();
+  auto* sink = new SinkNode();
+  net.add_node(std::make_unique<BurstNode>(2));
+  net.add_node(NodePtr(sink));
+  net.start();
+  net.run_until_quiescent();
+  EXPECT_EQ(net.trace().count(TraceKind::kSend), 2u);
+  EXPECT_EQ(net.trace().count(TraceKind::kDeliver), 2u);
+  const auto sends = net.trace().filter(TraceKind::kSend);
+  EXPECT_EQ(sends[0].node.value(), 0);
+}
+
+TEST(Network, MetricsPerNodeAndChannel) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(3);
+  config.delay = fixed_delay(1.0);
+  config.seed = 1;
+  Network net(std::move(config));
+  net.add_node(std::make_unique<BurstNode>(4));
+  net.add_node(std::make_unique<SinkNode>());
+  net.add_node(std::make_unique<SinkNode>());
+  net.start();
+  net.run_until_quiescent();
+  EXPECT_EQ(net.metrics().sent_by_node[0], 4u);
+  EXPECT_EQ(net.metrics().sent_by_node[1], 0u);
+  EXPECT_EQ(net.metrics().sent_by_channel[0], 4u);
+  EXPECT_EQ(net.metrics().mean_channel_delay(), 1.0);
+  EXPECT_EQ(net.metrics().max_channel_delay, 1.0);
+}
+
+TEST(Network, EchoRoundTrip) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(2);
+  config.delay = fixed_delay(1.0);
+  config.seed = 1;
+  Network net(std::move(config));
+  auto* b = new SinkNode(/*echo=*/true);
+  // Node 0 bursts via its ring channel to node 1, node 1 echoes back.
+  net.add_node(std::make_unique<BurstNode>(1));
+  net.add_node(NodePtr(b));
+  net.start();
+  net.run_until_quiescent();
+  ASSERT_EQ(b->received().size(), 1u);
+  EXPECT_EQ(net.metrics().messages_sent, 2u);  // original + echo
+}
+
+TEST(Network, StartRequiresAllNodes) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(2);
+  Network net(std::move(config));
+  net.add_node(std::make_unique<SinkNode>());
+  EXPECT_DEATH(net.start(), "missing");
+}
+
+TEST(Network, ExtraNodeRejected) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(1);
+  Network net(std::move(config));
+  net.add_node(std::make_unique<SinkNode>());
+  EXPECT_DEATH(net.add_node(std::make_unique<SinkNode>()), "more nodes");
+}
+
+}  // namespace
+}  // namespace abe

@@ -1,0 +1,138 @@
+// Tests for the real-thread runtime: mailbox semantics and an end-to-end
+// threaded election (the "threads and queues" realisation of the ABE model).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/mailbox.h"
+#include "runtime/thread_net.h"
+
+namespace abe {
+namespace {
+
+MailItem message_item(std::int64_t value,
+                      std::chrono::milliseconds delay = {}) {
+  MailItem item;
+  item.kind = MailItem::Kind::kMessage;
+  item.due = MailItem::Clock::now() + delay;
+  item.payload = std::make_shared<IntPayload>(value);
+  return item;
+}
+
+TEST(Mailbox, DeliversInDueOrder) {
+  Mailbox box;
+  box.push(message_item(2, std::chrono::milliseconds(30)));
+  box.push(message_item(1, std::chrono::milliseconds(5)));
+  MailItem out;
+  ASSERT_TRUE(box.pop(out));
+  EXPECT_EQ(payload_as<IntPayload>(*out.payload).value(), 1);
+  ASSERT_TRUE(box.pop(out));
+  EXPECT_EQ(payload_as<IntPayload>(*out.payload).value(), 2);
+}
+
+TEST(Mailbox, BlocksUntilDue) {
+  Mailbox box;
+  const auto start = MailItem::Clock::now();
+  box.push(message_item(1, std::chrono::milliseconds(50)));
+  MailItem out;
+  ASSERT_TRUE(box.pop(out));
+  const auto waited = MailItem::Clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            45);
+}
+
+TEST(Mailbox, CloseUnblocksConsumer) {
+  Mailbox box;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    MailItem out;
+    const bool alive = box.pop(out);
+    EXPECT_FALSE(alive);
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.close();
+  consumer.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(Mailbox, ProducerWakesBlockedConsumer) {
+  Mailbox box;
+  std::atomic<std::int64_t> got{-1};
+  std::thread consumer([&] {
+    MailItem out;
+    if (box.pop(out)) {
+      got = payload_as<IntPayload>(*out.payload).value();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.push(message_item(77));
+  consumer.join();
+  EXPECT_EQ(got.load(), 77);
+}
+
+TEST(Mailbox, CancelledTimerSkipped) {
+  Mailbox box;
+  MailItem timer;
+  timer.kind = MailItem::Kind::kTimer;
+  timer.timer_id = 5;
+  timer.due = MailItem::Clock::now();
+  box.push(timer);
+  box.cancel_timer(5);
+  box.push(message_item(9));
+  MailItem out;
+  ASSERT_TRUE(box.pop(out));
+  EXPECT_EQ(out.kind, MailItem::Kind::kMessage);
+}
+
+TEST(Mailbox, EarlierItemPreemptsWait) {
+  Mailbox box;
+  box.push(message_item(2, std::chrono::milliseconds(500)));
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.push(message_item(1, std::chrono::milliseconds(0)));
+  });
+  const auto start = MailItem::Clock::now();
+  MailItem out;
+  ASSERT_TRUE(box.pop(out));
+  producer.join();
+  EXPECT_EQ(payload_as<IntPayload>(*out.payload).value(), 1);
+  const auto waited =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          MailItem::Clock::now() - start)
+          .count();
+  EXPECT_LT(waited, 400);
+}
+
+// ---------------------------------------------------------------------
+
+TEST(ThreadNet, ElectsExactlyOneLeader) {
+  const auto result = run_threaded_election(
+      /*n=*/8, /*a0=*/0.4, /*mean_delay=*/1.0, /*seed=*/1,
+      /*time_scale_us=*/200.0);
+  ASSERT_TRUE(result.elected);
+  EXPECT_TRUE(result.safety_ok);
+  EXPECT_GE(result.messages, 8u);
+}
+
+TEST(ThreadNet, RepeatedRunsStaySafe) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto result =
+        run_threaded_election(6, 0.4, 0.5, seed, /*time_scale_us=*/150.0);
+    ASSERT_TRUE(result.elected) << "seed=" << seed;
+    EXPECT_TRUE(result.safety_ok) << "seed=" << seed;
+  }
+}
+
+TEST(ThreadNet, LargerRingStillElects) {
+  const auto result =
+      run_threaded_election(16, 0.3, 0.5, 5, /*time_scale_us=*/100.0);
+  ASSERT_TRUE(result.elected);
+  EXPECT_TRUE(result.safety_ok);
+}
+
+}  // namespace
+}  // namespace abe

@@ -1,0 +1,172 @@
+// Unit tests for the discrete-event scheduler.
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abe {
+namespace {
+
+TEST(Scheduler, StartsAtZeroAndIdle) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.live_count(), 0u);
+}
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(Scheduler, SimultaneousEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Scheduler, ScheduleInUsesRelativeDelay) {
+  Scheduler s;
+  double seen = -1;
+  s.schedule_in(2.0, [&] {
+    seen = s.now();
+    s.schedule_in(3.0, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 5.0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.processed_count(), 0u);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelAfterRunReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule_at(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<double> times;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(static_cast<double>(i), [&times, &s] {
+      times.push_back(s.now());
+    });
+  }
+  EXPECT_EQ(s.run_until(5.0), 5u);
+  EXPECT_EQ(s.now(), 5.0);
+  EXPECT_EQ(times.size(), 5u);
+  EXPECT_EQ(s.live_count(), 5u);
+  EXPECT_EQ(s.run(), 5u);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeWhenQueueDrains) {
+  Scheduler s;
+  s.schedule_at(1.0, [] {});
+  s.run_until(10.0);
+  EXPECT_EQ(s.now(), 10.0);
+}
+
+TEST(Scheduler, RunStepsLimitsEvents) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(static_cast<double>(i), [&] { ++count; });
+  }
+  EXPECT_EQ(s.run_steps(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(s.run_steps(100), 6u);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 50) s.schedule_in(1.0, chain);
+  };
+  s.schedule_at(0.0, chain);
+  s.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(s.now(), 49.0);
+}
+
+TEST(Scheduler, RequestStopHaltsRun) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(static_cast<double>(i), [&] {
+      if (++count == 3) s.request_stop();
+    });
+  }
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(count, 3);
+  // A later run() resumes.
+  EXPECT_EQ(s.run(), 7u);
+}
+
+TEST(Scheduler, ProcessedCountAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule_in(1.0, [] {});
+  s.run();
+  for (int i = 0; i < 3; ++i) s.schedule_in(1.0, [] {});
+  s.run();
+  EXPECT_EQ(s.processed_count(), 8u);
+}
+
+TEST(Scheduler, CancelInterleavedWithExecution) {
+  Scheduler s;
+  std::vector<int> order;
+  EventId later = s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.schedule_at(1.0, [&] {
+    order.push_back(1);
+    s.cancel(later);
+  });
+  s.run();
+  EXPECT_EQ(order, std::vector<int>{1});
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    const double when = static_cast<double>((i * 7919) % 1000);
+    s.schedule_at(when, [&, when] {
+      if (when < last) monotone = false;
+      last = when;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace abe

@@ -1,0 +1,93 @@
+// Tests for the BFS spanning-tree substrate.
+#include "net/spanning_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace abe {
+namespace {
+
+void expect_valid_tree(const SpanningTree& tree, std::size_t n) {
+  ASSERT_EQ(tree.parent.size(), n);
+  EXPECT_EQ(tree.parent[tree.root], tree.root);
+  EXPECT_EQ(tree.depth[tree.root], 0u);
+  // Every non-root has a parent with smaller depth; edges total n-1.
+  std::size_t child_links = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v != tree.root) {
+      EXPECT_EQ(tree.depth[v], tree.depth[tree.parent[v]] + 1);
+    }
+    child_links += tree.children[v].size();
+    for (std::size_t c : tree.children[v]) {
+      EXPECT_EQ(tree.parent[c], v);
+    }
+  }
+  EXPECT_EQ(child_links, n - 1);
+  EXPECT_EQ(tree.edge_count(), n - 1);
+}
+
+TEST(SpanningTree, LineIsAPath) {
+  const Topology t = line(6);
+  const SpanningTree tree = bfs_spanning_tree(t, 0);
+  expect_valid_tree(tree, 6);
+  EXPECT_EQ(tree.height(), 5u);
+  for (std::size_t v = 1; v < 6; ++v) {
+    EXPECT_EQ(tree.parent[v], v - 1);
+  }
+}
+
+TEST(SpanningTree, StarFromHubHasHeightOne) {
+  const SpanningTree tree = bfs_spanning_tree(star(9), 0);
+  expect_valid_tree(tree, 9);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.children[0].size(), 8u);
+}
+
+TEST(SpanningTree, StarFromSpokeHasHeightTwo) {
+  const SpanningTree tree = bfs_spanning_tree(star(9), 3);
+  expect_valid_tree(tree, 9);
+  EXPECT_EQ(tree.height(), 2u);
+}
+
+TEST(SpanningTree, GridBfsDepthsAreManhattan) {
+  const SpanningTree tree = bfs_spanning_tree(grid(3, 4), 0);
+  expect_valid_tree(tree, 12);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(tree.depth[r * 4 + c], r + c);
+    }
+  }
+}
+
+TEST(SpanningTree, CompleteGraphHeightOne) {
+  const SpanningTree tree = bfs_spanning_tree(complete(7), 2);
+  expect_valid_tree(tree, 7);
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(SpanningTree, SingleNode) {
+  const SpanningTree tree = bfs_spanning_tree(unidirectional_ring(1), 0);
+  EXPECT_EQ(tree.edge_count(), 0u);
+  EXPECT_EQ(tree.height(), 0u);
+}
+
+TEST(SpanningTree, UnidirectionalRingRejected) {
+  // Tree edges need reverse channels; a one-way ring has none.
+  EXPECT_DEATH(bfs_spanning_tree(unidirectional_ring(4), 0), "reverse");
+}
+
+TEST(SpanningTree, OutChannelMapConsistent) {
+  const Topology t = grid(2, 3);
+  const auto map = out_channel_to_neighbor(t);
+  const auto out = out_adjacency(t);
+  for (std::size_t u = 0; u < t.n; ++u) {
+    for (std::size_t k = 0; k < out[u].size(); ++k) {
+      const std::size_t v = t.edges[out[u][k]].to;
+      EXPECT_EQ(map[u][v], k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abe

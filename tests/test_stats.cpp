@@ -1,0 +1,198 @@
+// Unit tests for the statistics toolkit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/histogram.h"
+#include "stats/regression.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace abe {
+namespace {
+
+TEST(Summary, EmptyIsZeroCount) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(Summary, MeanAndVarianceKnownValues) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with Bessel correction: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Summary, CiShrinksWithSamples) {
+  Summary small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 1000; ++i) big.add(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95_half_width(), big.ci95_half_width());
+}
+
+TEST(Summary, TCriticalValues) {
+  EXPECT_NEAR(t_critical_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_975(10), 2.228, 1e-3);
+  EXPECT_NEAR(t_critical_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical_975(1000), 1.96, 1e-3);
+  EXPECT_TRUE(std::isinf(t_critical_975(0)));
+}
+
+TEST(Histogram, QuantilesExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(h.median(), 50.5, 1e-9);
+  EXPECT_NEAR(h.quantile(0.25), 25.75, 1e-9);
+}
+
+TEST(Histogram, TailFraction) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.tail_fraction(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(h.tail_fraction(10.0), 0.0, 1e-12);
+  EXPECT_NEAR(h.tail_fraction(0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, MeanAndCount) {
+  Histogram h;
+  h.add_all({1.0, 2.0, 3.0});
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.mean(), 2.0, 1e-12);
+}
+
+TEST(Histogram, AsciiRendersBins) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10));
+  const std::string art = h.ascii(5, 30);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+}
+
+TEST(Histogram, InterleavedAddAndQuery) {
+  Histogram h;
+  h.add(5.0);
+  EXPECT_EQ(h.median(), 5.0);
+  h.add(1.0);
+  h.add(9.0);
+  EXPECT_EQ(h.median(), 5.0);  // re-sorts after mutation
+}
+
+TEST(Regression, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineHighR2) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + ((i % 3) - 1) * 0.1);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Regression, LogLogRecoversPolynomialDegree) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * i * i);  // degree 2
+  }
+  const LinearFit fit = fit_loglog(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(Regression, LogLogLinearVsNLogN) {
+  std::vector<double> x, linear, nlogn;
+  for (int i = 2; i <= 512; i *= 2) {
+    x.push_back(i);
+    linear.push_back(4.0 * i);
+    nlogn.push_back(4.0 * i * std::log2(static_cast<double>(i)));
+  }
+  EXPECT_NEAR(fit_loglog(x, linear).slope, 1.0, 1e-9);
+  EXPECT_GT(fit_loglog(x, nlogn).slope, 1.2);  // clearly super-linear
+}
+
+TEST(Regression, CorrelationSigns) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> up{2, 4, 6, 8};
+  const std::vector<double> down{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, down), -1.0, 1e-12);
+}
+
+TEST(Regression, CorrelationDegenerateIsNaN) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> flat{5, 5, 5};
+  EXPECT_TRUE(std::isnan(correlation(x, flat)));
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"n", "messages", "time"});
+  t.add_row({"8", "25.31", "10.2"});
+  t.add_row({"128", "412.77", "161.9"});
+  const std::string out = t.render("E2");
+  EXPECT_NE(out.find("== E2 =="), std::string::npos);
+  EXPECT_NE(out.find("messages"), std::string::npos);
+  EXPECT_NE(out.find("412.77"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace abe

@@ -1,0 +1,234 @@
+// Tests for the synchronous apps, the reference runner, the α-synchronizer
+// and the ABD synchronizer (Theorem 1 territory).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/topology.h"
+#include "syncr/abd_sync.h"
+#include "syncr/alpha.h"
+#include "syncr/apps.h"
+#include "syncr/sync_runner.h"
+
+namespace abe {
+namespace {
+
+// ------------------------- reference runner ---------------------------
+
+TEST(SyncRunner, BroadcastComputesBfsDepthOnLine) {
+  const Topology t = line(6);
+  const auto result =
+      run_synchronous(t, broadcast_app_factory(0), /*rounds=*/10);
+  ASSERT_EQ(result.outputs.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.outputs[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(SyncRunner, BroadcastWavefrontOnRing) {
+  const Topology t = bidirectional_ring(8);
+  const auto result = run_synchronous(t, broadcast_app_factory(3), 10);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t cw = (i + 8 - 3) % 8;
+    const std::size_t ccw = (3 + 8 - i) % 8;
+    EXPECT_EQ(result.outputs[i],
+              static_cast<std::int64_t>(std::min(cw, ccw)))
+        << "node " << i;
+  }
+}
+
+TEST(SyncRunner, BroadcastUnreachedIsMinusOne) {
+  const Topology t = line(5);
+  const auto result = run_synchronous(t, broadcast_app_factory(0), 2);
+  EXPECT_EQ(result.outputs[2], 2);
+  EXPECT_EQ(result.outputs[3], -1);  // wavefront has not arrived yet
+  EXPECT_EQ(result.outputs[4], -1);
+}
+
+TEST(SyncRunner, MaxConsensusConvergesInDiameterRounds) {
+  const Topology t = grid(3, 3);
+  std::vector<std::int64_t> values(9);
+  std::iota(values.begin(), values.end(), 10);
+  const std::uint64_t rounds = diameter(t);
+  const auto result = run_synchronous(t, max_app_factory(values), rounds);
+  for (auto v : result.outputs) {
+    EXPECT_EQ(v, 18);
+  }
+}
+
+TEST(SyncRunner, MaxConsensusIncompleteBeforeDiameter) {
+  const Topology t = line(10);
+  std::vector<std::int64_t> values(10, 0);
+  values[9] = 100;  // extreme value at one end
+  const auto result = run_synchronous(t, max_app_factory(values), 3);
+  EXPECT_EQ(result.outputs[0], 0);  // too far for 3 rounds
+  EXPECT_EQ(result.outputs[7], 100);
+}
+
+TEST(SyncRunner, CounterCountsRounds) {
+  const Topology t = complete(4);
+  const auto result = run_synchronous(t, counter_app_factory(), 17);
+  for (auto v : result.outputs) EXPECT_EQ(v, 17);
+  EXPECT_EQ(result.messages_sent, 0u);  // counter app never sends
+}
+
+TEST(SyncRunner, SingleNodeTopology) {
+  const Topology t = unidirectional_ring(1);
+  const auto result = run_synchronous(t, broadcast_app_factory(0), 3);
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0], 0);
+}
+
+// ------------------------- α-synchronizer -----------------------------
+
+TEST(Alpha, MatchesReferenceOnBroadcast) {
+  const Topology t = grid(3, 4);
+  const auto ref = run_synchronous(t, broadcast_app_factory(0), 8);
+  const auto alpha = run_alpha_synchronizer(t, broadcast_app_factory(0), 8,
+                                            exponential_delay(1.0), 5);
+  ASSERT_TRUE(alpha.completed);
+  EXPECT_EQ(alpha.outputs, ref.outputs);
+}
+
+TEST(Alpha, MatchesReferenceOnMaxConsensus) {
+  const Topology t = bidirectional_ring(10);
+  std::vector<std::int64_t> values{4, 17, 3, 99, 5, 21, 8, 2, 54, 7};
+  const auto ref = run_synchronous(t, max_app_factory(values), 6);
+  const auto alpha = run_alpha_synchronizer(t, max_app_factory(values), 6,
+                                            exponential_delay(1.0), 11);
+  ASSERT_TRUE(alpha.completed);
+  EXPECT_EQ(alpha.outputs, ref.outputs);
+}
+
+TEST(Alpha, MatchesReferenceUnderHeavyTailDelays) {
+  const Topology t = line(7);
+  const auto ref = run_synchronous(t, broadcast_app_factory(3), 7);
+  const auto alpha = run_alpha_synchronizer(t, broadcast_app_factory(3), 7,
+                                            lomax_delay(2.5, 1.0), 23);
+  ASSERT_TRUE(alpha.completed);
+  EXPECT_EQ(alpha.outputs, ref.outputs);
+}
+
+TEST(Alpha, WorksOnUnidirectionalRing) {
+  const Topology t = unidirectional_ring(6);
+  const auto ref = run_synchronous(t, broadcast_app_factory(0), 6);
+  const auto alpha = run_alpha_synchronizer(t, broadcast_app_factory(0), 6,
+                                            exponential_delay(1.0), 7);
+  ASSERT_TRUE(alpha.completed);
+  EXPECT_EQ(alpha.outputs, ref.outputs);
+}
+
+// Theorem 1 embodiment: α sends exactly |E| envelopes per round — on a
+// unidirectional ring, exactly n per round, meeting the lower bound with
+// equality; never fewer than n on any strongly-connected digraph.
+TEST(Alpha, MessagesPerRoundEqualsEdgeCount) {
+  for (std::size_t n : {4, 9, 16}) {
+    const Topology t = unidirectional_ring(n);
+    const auto alpha = run_alpha_synchronizer(
+        t, counter_app_factory(), 12, exponential_delay(1.0), 3);
+    ASSERT_TRUE(alpha.completed);
+    EXPECT_DOUBLE_EQ(alpha.messages_per_round, static_cast<double>(n));
+  }
+  const Topology g = grid(3, 3);
+  const auto alpha = run_alpha_synchronizer(
+      g, counter_app_factory(), 12, exponential_delay(1.0), 3);
+  EXPECT_DOUBLE_EQ(alpha.messages_per_round,
+                   static_cast<double>(g.edge_count()));
+  EXPECT_GE(alpha.messages_per_round, static_cast<double>(g.n));
+}
+
+TEST(Alpha, AllRoundsExecuteEverywhere) {
+  const Topology t = torus(3, 3);
+  const auto alpha = run_alpha_synchronizer(t, counter_app_factory(), 9,
+                                            exponential_delay(2.0), 19);
+  ASSERT_TRUE(alpha.completed);
+  for (auto v : alpha.outputs) EXPECT_EQ(v, 9);
+}
+
+// ------------------------- ABD synchronizer ---------------------------
+
+TEST(AbdSync, CorrectOnAbdNetwork) {
+  // Fixed delay 1, period multiplier 1.5 => period 1.5 > Δ: sound.
+  const Topology t = grid(2, 3);
+  const auto result = run_abd_synchronizer(
+      t, broadcast_app_factory(0), 8, fixed_delay(1.0), 1.5, 3);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.late_messages, 0u);
+  EXPECT_TRUE(result.outputs_match_reference);
+}
+
+TEST(AbdSync, CorrectOnBoundedUniformDelays) {
+  // Uniform [0,2] has worst case 2; multiplier 2.5 of mean 1 => period 2.5.
+  const Topology t = bidirectional_ring(8);
+  const auto result = run_abd_synchronizer(
+      t, broadcast_app_factory(2), 10, uniform_delay(0.0, 2.0), 2.5, 9);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.late_messages, 0u);
+  EXPECT_TRUE(result.outputs_match_reference);
+}
+
+TEST(AbdSync, ZeroOverheadMessaging) {
+  // The counter app sends nothing: the ABD synchronizer moves rounds with
+  // ZERO messages — legal only because a sure delay bound exists. (Theorem 1
+  // says this is impossible for ABE/asynchronous networks.)
+  const Topology t = complete(5);
+  const auto result = run_abd_synchronizer(
+      t, counter_app_factory(), 12, fixed_delay(1.0), 1.5, 1);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.messages_total, 0u);
+  for (auto v : result.outputs) EXPECT_EQ(v, 12);
+}
+
+TEST(AbdSync, ViolatesOnAbeDelays) {
+  // Exponential delays: P(delay > c·mean) = e^{-c}. With multiplier 1.0
+  // roughly a third of messages overshoot their round; some run of seeds
+  // must exhibit late messages and output corruption.
+  const Topology t = bidirectional_ring(10);
+  std::uint64_t total_late = 0;
+  int mismatches = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto result = run_abd_synchronizer(
+        t, broadcast_app_factory(0), 10, exponential_delay(1.0), 1.0, seed);
+    ASSERT_TRUE(result.completed);
+    total_late += result.late_messages;
+    if (!result.outputs_match_reference) ++mismatches;
+  }
+  EXPECT_GT(total_late, 0u);
+  EXPECT_GT(mismatches, 0);
+}
+
+TEST(AbdSync, LargerPeriodReducesViolations) {
+  const Topology t = bidirectional_ring(8);
+  auto late_at = [&](double multiplier) {
+    std::uint64_t late = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto r = run_abd_synchronizer(t, broadcast_app_factory(0), 10,
+                                          exponential_delay(1.0), multiplier,
+                                          seed);
+      late += r.late_messages;
+    }
+    return late;
+  };
+  const std::uint64_t tight = late_at(0.5);
+  const std::uint64_t generous = late_at(6.0);
+  EXPECT_GT(tight, generous);
+  EXPECT_EQ(generous, 0u);  // e^{-6} over ~hundreds of messages
+}
+
+TEST(AbdSync, ClockDriftAloneBreaksIt) {
+  // Bounded delays but drifting clocks: round windows slide apart and
+  // eventually messages land late anyway — Definition 1(2) matters.
+  const Topology t = bidirectional_ring(8);
+  std::uint64_t late = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto r = run_abd_synchronizer(
+        t, broadcast_app_factory(0), 40, fixed_delay(1.0), 1.2, seed,
+        ClockBounds{0.7, 1.4}, DriftModel::kFixedRandomRate);
+    ASSERT_TRUE(r.completed);
+    late += r.late_messages;
+  }
+  EXPECT_GT(late, 0u);
+}
+
+}  // namespace
+}  // namespace abe

@@ -1,0 +1,174 @@
+// Unit tests for topology builders and graph utilities.
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace abe {
+namespace {
+
+TEST(Topology, UnidirectionalRingShape) {
+  const Topology t = unidirectional_ring(5);
+  EXPECT_EQ(t.n, 5u);
+  EXPECT_EQ(t.edge_count(), 5u);
+  const auto out = out_adjacency(t);
+  const auto in = in_adjacency(t);
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(out[i].size(), 1u);
+    ASSERT_EQ(in[i].size(), 1u);
+    EXPECT_EQ(t.edges[out[i][0]].to, (i + 1) % 5);
+  }
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 4u);
+}
+
+TEST(Topology, SingleNodeRingHasNoEdges) {
+  const Topology t = unidirectional_ring(1);
+  EXPECT_EQ(t.n, 1u);
+  EXPECT_EQ(t.edge_count(), 0u);
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 0u);
+}
+
+TEST(Topology, TwoNodeRing) {
+  const Topology t = unidirectional_ring(2);
+  EXPECT_EQ(t.edge_count(), 2u);
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 1u);
+}
+
+TEST(Topology, BidirectionalRingShape) {
+  const Topology t = bidirectional_ring(6);
+  EXPECT_EQ(t.edge_count(), 12u);
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 3u);
+}
+
+TEST(Topology, LineShapeAndDiameter) {
+  const Topology t = line(7);
+  EXPECT_EQ(t.edge_count(), 12u);  // 6 hops * 2 directions
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 6u);
+}
+
+TEST(Topology, StarShape) {
+  const Topology t = star(9);
+  EXPECT_EQ(t.edge_count(), 16u);
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 2u);
+  const auto out = out_adjacency(t);
+  EXPECT_EQ(out[0].size(), 8u);  // hub
+  EXPECT_EQ(out[3].size(), 1u);  // spoke
+}
+
+TEST(Topology, CompleteShape) {
+  const Topology t = complete(5);
+  EXPECT_EQ(t.edge_count(), 20u);
+  EXPECT_EQ(diameter(t), 1u);
+}
+
+TEST(Topology, GridShape) {
+  const Topology t = grid(3, 4);
+  EXPECT_EQ(t.n, 12u);
+  // Horizontal: 3 rows * 3 hops * 2; vertical: 2 * 4 * 2.
+  EXPECT_EQ(t.edge_count(), 34u);
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 5u);  // (3-1) + (4-1)
+}
+
+TEST(Topology, TorusShapeAndDiameter) {
+  const Topology t = torus(4, 4);
+  EXPECT_EQ(t.n, 16u);
+  EXPECT_EQ(t.edge_count(), 64u);  // 2*n edges, both directions
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 4u);  // wraparound halves distances
+}
+
+TEST(Topology, TorusTwoByTwoDeduplicates) {
+  const Topology t = torus(2, 2);
+  EXPECT_TRUE(is_strongly_connected(t));
+  // Each node has exactly 2 distinct neighbours; duplicate wrap edges were
+  // dropped rather than doubled.
+  const auto out = out_adjacency(t);
+  for (std::size_t i = 0; i < t.n; ++i) {
+    EXPECT_EQ(out[i].size(), 2u);
+  }
+}
+
+TEST(Topology, HypercubeShape) {
+  const Topology t = hypercube(4);
+  EXPECT_EQ(t.n, 16u);
+  EXPECT_EQ(t.edge_count(), 64u);  // n * dim
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 4u);
+}
+
+TEST(Topology, HypercubeDimZeroIsSingleton) {
+  const Topology t = hypercube(0);
+  EXPECT_EQ(t.n, 1u);
+  EXPECT_EQ(t.edge_count(), 0u);
+}
+
+TEST(Topology, RandomConnectedIsConnectedAndDeterministic) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const Topology a = random_connected(20, 0.15, rng1);
+  const Topology b = random_connected(20, 0.15, rng2);
+  EXPECT_TRUE(is_strongly_connected(a));
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges[i].from, b.edges[i].from);
+    EXPECT_EQ(a.edges[i].to, b.edges[i].to);
+  }
+}
+
+TEST(Topology, RandomConnectedSparseStillTerminates) {
+  Rng rng(7);
+  const Topology t = random_connected(30, 0.01, rng);
+  EXPECT_TRUE(is_strongly_connected(t));
+}
+
+TEST(Topology, DisconnectedGraphDetected) {
+  Topology t;
+  t.n = 4;
+  t.edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  EXPECT_FALSE(is_strongly_connected(t));
+}
+
+TEST(Topology, OneWayPairNotStronglyConnected) {
+  Topology t;
+  t.n = 2;
+  t.edges = {{0, 1}};
+  EXPECT_FALSE(is_strongly_connected(t));
+}
+
+TEST(Topology, InIndexMappingConsistent) {
+  const Topology t = grid(2, 3);
+  const auto in = in_adjacency(t);
+  std::set<std::size_t> all_edges;
+  for (std::size_t v = 0; v < t.n; ++v) {
+    for (std::size_t e : in[v]) {
+      EXPECT_EQ(t.edges[e].to, v);
+      all_edges.insert(e);
+    }
+  }
+  EXPECT_EQ(all_edges.size(), t.edge_count());
+}
+
+TEST(Topology, ValidateRejectsSelfLoop) {
+  Topology t;
+  t.n = 2;
+  t.edges = {{0, 0}};
+  EXPECT_DEATH(validate_topology(t), "self-loops");
+}
+
+TEST(Topology, ValidateRejectsOutOfRange) {
+  Topology t;
+  t.n = 2;
+  t.edges = {{0, 5}};
+  EXPECT_DEATH(validate_topology(t), "");
+}
+
+}  // namespace
+}  // namespace abe

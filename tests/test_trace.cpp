@@ -1,0 +1,111 @@
+// Tests for the trace recorder and for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+#include "util/cli.h"
+
+namespace abe {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Trace trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.record(1.0, TraceKind::kSend, NodeId{0}, "x");
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace trace;
+  trace.enable();
+  trace.record(1.0, TraceKind::kSend, NodeId{0}, "a");
+  trace.record(2.0, TraceKind::kDeliver, NodeId{1}, "b");
+  trace.record(3.0, TraceKind::kSend, NodeId{0}, "c");
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.count(TraceKind::kSend), 2u);
+  EXPECT_EQ(trace.count(TraceKind::kDeliver), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kDrop), 0u);
+}
+
+TEST(Trace, FilterAndForNode) {
+  Trace trace;
+  trace.enable();
+  trace.record(1.0, TraceKind::kSend, NodeId{0}, "a");
+  trace.record(2.0, TraceKind::kTick, NodeId{1}, "b");
+  trace.record(3.0, TraceKind::kSend, NodeId{1}, "c");
+  const auto sends = trace.filter(TraceKind::kSend);
+  ASSERT_EQ(sends.size(), 2u);
+  EXPECT_EQ(sends[1].detail, "c");
+  const auto node1 = trace.for_node(NodeId{1});
+  ASSERT_EQ(node1.size(), 2u);
+  EXPECT_EQ(node1[0].kind, TraceKind::kTick);
+}
+
+TEST(Trace, ToStringAndClear) {
+  Trace trace;
+  trace.enable();
+  trace.record(1.5, TraceKind::kStateChange, NodeId{3}, "idle->active");
+  const std::string s = trace.to_string();
+  EXPECT_NE(s.find("STATE"), std::string::npos);
+  EXPECT_NE(s.find("idle->active"), std::string::npos);
+  EXPECT_NE(s.find("node=3"), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, KindNamesDistinct) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kSend), "SEND");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kDrop), "DROP");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kRoundStart), "ROUND");
+}
+
+// ---------------------------------------------------------------------
+
+CliFlags parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  for (auto& s : storage) argv.push_back(s.data());
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const CliFlags flags = parse({"prog", "--n=32", "--rate=0.5"});
+  EXPECT_EQ(flags.get_int("n", 0), 32);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.5);
+}
+
+TEST(Cli, SpaceForm) {
+  const CliFlags flags = parse({"prog", "--n", "32", "--name", "ring"});
+  EXPECT_EQ(flags.get_int("n", 0), 32);
+  EXPECT_EQ(flags.get_string("name", ""), "ring");
+}
+
+TEST(Cli, BareBooleanAndExplicit) {
+  const CliFlags flags = parse({"prog", "--verbose", "--fast=false"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("fast", true));
+  EXPECT_TRUE(flags.get_bool("absent", true));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const CliFlags flags = parse({"prog"});
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_EQ(flags.get_string("s", "d"), "d");
+  EXPECT_FALSE(flags.has("n"));
+}
+
+TEST(Cli, PositionalArguments) {
+  const CliFlags flags = parse({"prog", "one", "--k=2", "two"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "one");
+  EXPECT_EQ(flags.positional()[1], "two");
+  EXPECT_EQ(flags.program(), "prog");
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  const CliFlags flags = parse({"prog", "--offset=-5"});
+  EXPECT_EQ(flags.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace abe
