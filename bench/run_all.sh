@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Runs every bench binary and captures its outputs for the perf trajectory:
+#   BENCH_<id>.json — google-benchmark JSON (machine-readable wall times)
+#   BENCH_<id>.log  — the experiment tables printed before the benchmarks
+#
+# Usage: run_all.sh <out_dir> <bench_binary>...
+# Normally invoked via `cmake --build build --target run_all_benches`.
+# ABE_BENCH_ARGS adds extra google-benchmark flags, e.g.
+#   ABE_BENCH_ARGS=--benchmark_min_time=0.01 for a quick smoke pass.
+set -eu
+
+out_dir=$1
+shift
+mkdir -p "$out_dir"
+
+status=0
+for bin in "$@"; do
+  id=$(basename "$bin" | sed 's/^bench_//')
+  json="$out_dir/BENCH_${id}.json"
+  log="$out_dir/BENCH_${id}.log"
+  echo "== bench_${id} -> ${json}"
+  if ! "$bin" \
+      --benchmark_out="$json" \
+      --benchmark_out_format=json \
+      ${ABE_BENCH_ARGS:-} >"$log" 2>&1; then
+    echo "!! bench_${id} FAILED (see $log)" >&2
+    status=1
+  fi
+done
+exit $status

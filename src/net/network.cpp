@@ -18,6 +18,16 @@ const char* channel_ordering_name(ChannelOrdering o) {
   return "?";
 }
 
+const char* tick_phase_name(TickPhase p) {
+  switch (p) {
+    case TickPhase::kRandomPerNode:
+      return "random";
+    case TickPhase::kAligned:
+      return "aligned";
+  }
+  return "?";
+}
+
 double ProcessingModel::sample(Rng& rng) const {
   switch (kind) {
     case Kind::kZero:
@@ -110,6 +120,10 @@ Network::Network(NetworkConfig config)
         config_.clock_bounds, config_.drift, root_rng_.substream("clock", i),
         config_.clock_segment_mean);
     slots_[i].context = std::make_unique<ContextImpl>(this, i);
+    if (config_.tick_phase == TickPhase::kRandomPerNode) {
+      slots_[i].tick_phase = root_rng_.substream("tick-phase", i).uniform01() *
+                             config_.tick_local_period;
+    }
   }
 }
 
@@ -170,6 +184,7 @@ void Network::start() {
 void Network::schedule_next_tick(std::size_t node_index) {
   NodeSlot& slot = slots_[node_index];
   const double next_local =
+      slot.tick_phase +
       static_cast<double>(slot.ticks + 1) * config_.tick_local_period;
   const SimTime fire = slot.clock->real_at(next_local);
   scheduler_.schedule_at(fire, [this, node_index] {

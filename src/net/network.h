@@ -35,6 +35,14 @@ enum class ChannelOrdering : std::uint8_t {
 
 const char* channel_ordering_name(ChannelOrdering o);
 
+// Initial phase of each node's tick train (see NetworkConfig::tick_phase).
+enum class TickPhase : std::uint8_t {
+  kRandomPerNode,  // phase ~ U[0, tick_local_period) per node (asynchronous)
+  kAligned,        // phase 0 everywhere (lockstep when clocks are ideal)
+};
+
+const char* tick_phase_name(TickPhase p);
+
 // Definition 1(3): time a node is busy handling one delivered message.
 struct ProcessingModel {
   enum class Kind : std::uint8_t { kZero, kFixed, kExponential };
@@ -61,10 +69,20 @@ struct NetworkConfig {
   double clock_segment_mean = 10.0;
   // Processing model (Definition 1(3)).
   ProcessingModel processing = ProcessingModel::zero();
-  // Tick generation: when enabled, Node::on_tick fires at every multiple of
-  // `tick_local_period` of the node's local clock.
+  // Tick generation: when enabled, Node::on_tick fires once per
+  // `tick_local_period` of the node's local clock, at local times
+  // phase + k·tick_local_period.
   bool enable_ticks = false;
   double tick_local_period = 1.0;
+  // Nodes in an asynchronous network share no time origin, so by default
+  // every node draws its tick phase uniformly in [0, tick_local_period).
+  // kAligned pins all phases to 0: with ideal clocks every node then ticks
+  // at the very same instants — a degenerate lockstep regime the ABE model
+  // never promises. Under a fixed (ABD) delay that regime makes symmetric
+  // election rounds self-repeat (simultaneous activations knock each other
+  // out over and over), which is why kRandomPerNode is the default; keep
+  // kAligned only for tests that pin exact tick times.
+  TickPhase tick_phase = TickPhase::kRandomPerNode;
   // Per-attempt silent drop probability (for the lossy-link/ARQ substrate;
   // plain ABE networks keep this at 0 — the model requires delivery).
   double loss_probability = 0.0;
@@ -154,6 +172,7 @@ class Network {
     Rng rng;
     SimTime busy_until = 0.0;
     std::uint64_t ticks = 0;
+    double tick_phase = 0.0;  // local-time offset of the tick train
     bool ticking = false;
   };
 

@@ -84,7 +84,11 @@ std::uint64_t Scheduler::run_until(SimTime deadline) {
     ++n;
     ++processed_;
   }
-  if (now_ < deadline) now_ = deadline;
+  // Fast-forward to the deadline only when no live event remains at or
+  // before it. When request_stop() fired with such events still pending,
+  // advancing would strand them in the past and abort the next run() on
+  // its e.when >= now_ invariant.
+  if (now_ < deadline && next_event_time() > deadline) now_ = deadline;
   return n;
 }
 
@@ -94,6 +98,7 @@ std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
   Entry e;
   Action action;
   while (n < max_events && !stop_requested_ && pop_next(e, action)) {
+    ABE_CHECK_GE(e.when, now_);
     now_ = e.when;
     action();
     ++n;

@@ -43,8 +43,11 @@ class Scheduler {
   // number of events processed by this call.
   std::uint64_t run();
 
-  // Runs events with time <= deadline. When the queue drains earlier,
-  // advances now() to `deadline`. Returns the number processed.
+  // Runs events with time <= deadline. Advances now() to `deadline` when no
+  // live event at or before it remains (queue drained, or all pending events
+  // are later); after request_stop() with such events still pending, now()
+  // stays at the last processed event so they remain runnable. Returns the
+  // number processed.
   std::uint64_t run_until(SimTime deadline);
 
   // Runs at most `max_events` events. Returns the number processed.

@@ -5,6 +5,7 @@
 
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/harness.h"
 #include "stats/regression.h"
@@ -20,21 +21,39 @@ class ElectionModelSweep : public ::testing::TestWithParam<ModelCase> {};
 
 TEST_P(ElectionModelSweep, ElectsExactlyOneLeaderSafely) {
   const auto [n, delay_name, ordering] = GetParam();
+  // Each case runs the paper's calibrated regime (A0 = c/n²) at every size,
+  // and repeats with a hot constant A0 at sizes where that regime still
+  // mixes fast. Only the hot × fixed-delay corner is capped at n = 16, on
+  // purpose: under a zero-variance (ABD) delay with ideal clocks the whole
+  // execution is phase-locked — every token arrival from a given sender
+  // recurs at the same tick-phase offset forever — so the last two
+  // candidates purge each other in perfectly periodic rounds, and with the
+  // adaptive boost at hot A0 each survivor re-activates with probability
+  // 1-(1-A0)^d ≈ 1. The only symmetry break left is a full abstention,
+  // probability (1-A0)^d, so the expected number of rounds grows
+  // exponentially in n (n=33 took 43 s–timeout in CI). That is a true
+  // property of the algorithm outside its calibration, not a simulator
+  // bug; the calibrated sweep below is the liveness test, and
+  // HotA0DegradesSuperLinearly keeps the degradation itself under test.
+  std::vector<double> a0s{linear_regime_a0(n)};
+  if (delay_name != "fixed" || n <= 16) a0s.push_back(0.3);
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    ElectionExperiment e;
-    e.n = n;
-    e.delay_name = delay_name;
-    e.ordering = ordering;
-    e.seed = seed * 7919;
-    e.election.a0 = 0.3;
-    e.settle_time = 20.0;
-    const auto result = run_election(e);
-    ASSERT_TRUE(result.elected)
-        << "n=" << n << " delay=" << delay_name << " seed=" << e.seed;
-    ASSERT_TRUE(result.safety_ok)
-        << "n=" << n << " delay=" << delay_name << " seed=" << e.seed << ": "
-        << result.safety_detail;
-    ASSERT_EQ(result.max_leaders_ever, 1u);
+    for (const double a0 : a0s) {
+      ElectionExperiment e;
+      e.n = n;
+      e.delay_name = delay_name;
+      e.ordering = ordering;
+      e.seed = seed * 7919;
+      e.election.a0 = a0;
+      e.settle_time = 20.0;
+      const auto result = run_election(e);
+      ASSERT_TRUE(result.elected) << "n=" << n << " delay=" << delay_name
+                                  << " a0=" << a0 << " seed=" << e.seed;
+      ASSERT_TRUE(result.safety_ok)
+          << "n=" << n << " delay=" << delay_name << " a0=" << a0
+          << " seed=" << e.seed << ": " << result.safety_detail;
+      ASSERT_EQ(result.max_leaders_ever, 1u);
+    }
   }
 }
 

@@ -248,6 +248,7 @@ TEST(Network, TicksFireAtLocalPeriodAndStopOnTermination) {
   config.topology = unidirectional_ring(1);
   config.enable_ticks = true;
   config.tick_local_period = 1.0;
+  config.tick_phase = TickPhase::kAligned;  // pin exact tick instants
   config.seed = 4;
   Network net(std::move(config));
   auto* node = new TickCounter(5);
@@ -268,6 +269,7 @@ TEST(Network, SlowClockTicksLater) {
   config.enable_ticks = true;
   config.clock_bounds = {0.5, 0.5};
   config.drift = DriftModel::kFixedRandomRate;
+  config.tick_phase = TickPhase::kAligned;
   config.seed = 4;
   Network net(std::move(config));
   auto* node = new TickCounter(3);
@@ -278,6 +280,41 @@ TEST(Network, SlowClockTicksLater) {
   // Local period 1 at rate 0.5 = real period 2.
   EXPECT_NEAR(node->times_[0], 2.0, 1e-9);
   EXPECT_NEAR(node->times_[2], 6.0, 1e-9);
+}
+
+// The default tick phase desynchronises nodes: each tick train keeps the
+// exact local period, but distinct nodes start at distinct offsets inside
+// the first period, so ideal-clock nodes never tick in lockstep. (That
+// lockstep regime made fixed-delay elections cycle through symmetric
+// activation/purge rounds; see ElectionModelSweep.)
+TEST(Network, RandomTickPhaseDesynchronisesNodesButKeepsPeriod) {
+  NetworkConfig config;
+  config.topology = unidirectional_ring(3);
+  config.enable_ticks = true;
+  config.tick_local_period = 1.0;
+  config.seed = 4;
+  Network net(std::move(config));
+  std::vector<TickCounter*> nodes;
+  for (int i = 0; i < 3; ++i) {
+    nodes.push_back(new TickCounter(4));
+    net.add_node(NodePtr(nodes.back()));
+  }
+  net.start();
+  net.run_until_quiescent(100.0);
+  std::vector<double> phases;
+  for (TickCounter* node : nodes) {
+    ASSERT_EQ(node->times_.size(), 4u);
+    // First tick lands inside (0, 2) — phase in [0,1) plus one period.
+    EXPECT_GT(node->times_[0], 0.0);
+    EXPECT_LT(node->times_[0], 2.0);
+    for (std::size_t k = 1; k < node->times_.size(); ++k) {
+      EXPECT_NEAR(node->times_[k] - node->times_[k - 1], 1.0, 1e-9);
+    }
+    phases.push_back(node->times_[0]);
+  }
+  EXPECT_NE(phases[0], phases[1]);
+  EXPECT_NE(phases[1], phases[2]);
+  EXPECT_NE(phases[0], phases[2]);
 }
 
 TEST(Network, RunUntilPredicate) {

@@ -132,6 +132,37 @@ TEST(Scheduler, RequestStopHaltsRun) {
   EXPECT_EQ(s.run(), 7u);
 }
 
+// Regression: request_stop() during run_until() used to fast-forward now()
+// to the deadline even though live events earlier than the deadline were
+// still pending; the next run() then aborted on its e.when >= now_ check.
+TEST(Scheduler, StopDuringRunUntilKeepsPendingEventsRunnable) {
+  Scheduler s;
+  std::vector<double> times;
+  for (int i = 1; i <= 6; ++i) {
+    s.schedule_at(static_cast<double>(i), [&times, &s] {
+      times.push_back(s.now());
+      if (times.size() == 2) s.request_stop();
+    });
+  }
+  EXPECT_EQ(s.run_until(5.0), 2u);
+  // Events at 3, 4, 5 are still pending before the deadline, so time must
+  // not have been fast-forwarded past them.
+  EXPECT_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.live_count(), 4u);
+  EXPECT_EQ(s.run(), 4u);
+  EXPECT_EQ(times, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Scheduler, RunUntilAdvancesToDeadlineWhenRemainingEventsAreLater) {
+  Scheduler s;
+  s.schedule_at(1.0, [] {});
+  s.schedule_at(20.0, [] {});
+  EXPECT_EQ(s.run_until(10.0), 1u);
+  EXPECT_EQ(s.now(), 10.0);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(s.now(), 20.0);
+}
+
 TEST(Scheduler, ProcessedCountAccumulates) {
   Scheduler s;
   for (int i = 0; i < 5; ++i) s.schedule_in(1.0, [] {});
