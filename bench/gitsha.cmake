@@ -1,0 +1,21 @@
+# Script mode (cmake -P): writes OUT with the current git short sha, only
+# touching the file when the sha changed so dependents don't rebuild
+# spuriously. Runs at BUILD time (not configure time) so bench metadata
+# names the commit actually being measured, even in an incremental build.
+execute_process(
+  COMMAND git rev-parse --short HEAD
+  WORKING_DIRECTORY ${SRC_DIR}
+  OUTPUT_VARIABLE ABE_SHA
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET)
+if(NOT ABE_SHA)
+  set(ABE_SHA "unknown")
+endif()
+set(content "#define ABE_BENCH_GIT_SHA \"${ABE_SHA}\"\n")
+set(old "")
+if(EXISTS ${OUT})
+  file(READ ${OUT} old)
+endif()
+if(NOT content STREQUAL old)
+  file(WRITE ${OUT} "${content}")
+endif()

@@ -65,11 +65,26 @@ struct ElectionAggregate {
   std::uint64_t trials = 0;
   std::uint64_t failures = 0;  // trials that missed the deadline
   std::uint64_t safety_violations = 0;
+
+  // Folds another aggregate in (parallel Welford combination per Summary).
+  // Merge order matters for floating-point bit-exactness; callers that need
+  // reproducibility must merge in a deterministic order.
+  void merge(const ElectionAggregate& other);
 };
 
 // Runs `trials` independent elections with seeds seed_base, seed_base+1, ….
+//
+// Per-trial seeds make trials embarrassingly parallel: with `threads` > 1
+// they are distributed over a thread pool. Statistics are accumulated over
+// fixed-size seed chunks and the per-chunk aggregates are merged in seed
+// order, so the returned aggregate is bit-identical for EVERY thread count
+// (including 1). `threads` == 0 resolves to the ABE_TRIAL_THREADS
+// environment variable when set (a count, or "all" for every hardware
+// thread), else to 1 — parallelism is an explicit opt-in so ctest -j and
+// bench sweeps don't oversubscribe the host.
 ElectionAggregate run_election_trials(ElectionExperiment experiment,
                                       std::uint64_t trials,
-                                      std::uint64_t seed_base = 1);
+                                      std::uint64_t seed_base = 1,
+                                      unsigned threads = 0);
 
 }  // namespace abe

@@ -209,27 +209,23 @@ TimerId Network::set_timer(std::size_t node_index, double local_delay,
   NodeSlot& slot = slots_[node_index];
   const double local_now = slot.clock->local_at(now());
   const SimTime fire = slot.clock->real_at(local_now + local_delay);
-  const std::int64_t timer_id = next_timer_id_++;
-  const EventId ev = scheduler_.schedule_at(
+  // A timer handle IS its scheduler event handle: generation-counted ids
+  // make cancel-after-fire safe without any timer bookkeeping of our own.
+  const TimerId timer_id{scheduler_.peek_next_id().value()};
+  scheduler_.schedule_at(
       std::max(fire, now()), [this, node_index, tag, timer_id] {
-        live_timers_.erase(timer_id);
         NodeSlot& s = slots_[node_index];
         ++metrics_.timers_fired;
         trace_.record(now(), TraceKind::kTimer,
                       NodeId{static_cast<std::int64_t>(node_index)},
                       "tag=" + std::to_string(tag));
-        s.node->on_timer(*s.context, TimerId{timer_id}, tag);
+        s.node->on_timer(*s.context, timer_id, tag);
       });
-  live_timers_.emplace(timer_id, ev);
-  return TimerId{timer_id};
+  return timer_id;
 }
 
 bool Network::cancel_timer_impl(TimerId id) {
-  auto it = live_timers_.find(id.value());
-  if (it == live_timers_.end()) return false;
-  const bool cancelled = scheduler_.cancel(it->second);
-  live_timers_.erase(it);
-  return cancelled;
+  return scheduler_.cancel(EventId{id.value()});
 }
 
 void Network::send_from(std::size_t node_index, std::size_t out_index,

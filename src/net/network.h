@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "clock/local_clock.h"
@@ -196,8 +195,6 @@ class Network {
   std::vector<std::vector<std::size_t>> out_channels_;  // node -> edge indices
   std::vector<std::vector<std::size_t>> in_channels_;
   std::vector<std::size_t> in_index_of_edge_;  // edge -> receiver's in-index
-  std::unordered_map<std::int64_t, EventId> live_timers_;
-  std::int64_t next_timer_id_ = 0;
   bool started_ = false;
 };
 

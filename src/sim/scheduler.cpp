@@ -9,11 +9,22 @@ namespace abe {
 EventId Scheduler::schedule_at(SimTime when, Action action) {
   ABE_CHECK_GE(when, now_);
   ABE_CHECK(static_cast<bool>(action)) << "scheduled action must be callable";
-  const std::int64_t id = static_cast<std::int64_t>(next_seq_);
-  queue_.push(Entry{when, next_seq_, id});
-  actions_.emplace(id, std::move(action));
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    ABE_CHECK_LT(slots_.size(), static_cast<std::size_t>(kNullPos));
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{time_to_bits(when), next_seq_, slot});
   ++next_seq_;
-  return EventId{id};
+  sift_up(s.heap_pos);
+  return EventId{encode(slot, s.gen)};
 }
 
 EventId Scheduler::schedule_in(SimTime delay, Action action) {
@@ -21,68 +32,163 @@ EventId Scheduler::schedule_in(SimTime delay, Action action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
+EventId Scheduler::peek_next_id() const {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    return EventId{encode(slot, slots_[slot].gen)};
+  }
+  return EventId{encode(static_cast<std::uint32_t>(slots_.size()), 0)};
+}
+
 bool Scheduler::cancel(EventId id) {
-  return actions_.erase(id.value()) > 0;
+  const std::int64_t v = id.value();
+  if (v < 0) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(v) & 0xffffffffu);
+  const std::uint32_t gen =
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // heap_pos == kNullPos: the event already ran or was cancelled and the
+  // slot is free. Generation mismatch: the slot was reused by a newer event
+  // — this handle's event is long gone; never touch the new occupant.
+  if (s.heap_pos == kNullPos || (s.gen & kGenMask) != gen) return false;
+  heap_erase(s.heap_pos);
+  release_slot(slot);
+  return true;
 }
 
-bool Scheduler::pop_next(Entry& out, Action& out_action) {
-  while (!queue_.empty()) {
-    Entry top = queue_.top();
-    queue_.pop();
-    auto it = actions_.find(top.id);
-    if (it == actions_.end()) continue;  // lazily cancelled
-    out = top;
-    out_action = std::move(it->second);
-    actions_.erase(it);
-    return true;
-  }
-  return false;
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  s.heap_pos = kNullPos;
+  ++s.gen;  // invalidates every outstanding EventId for this slot
+  // Generations are encoded in 31 bits; rather than let a slot's counter
+  // wrap (after 2^31 reuses a sufficiently stale handle could alias a live
+  // event), retire the slot permanently once the encoding saturates. Costs
+  // one ~64-byte record per 2^31 events through a slot — nothing.
+  if (s.gen < kGenMask) free_.push_back(slot);
 }
 
-SimTime Scheduler::next_event_time() {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (actions_.count(top.id) > 0) return top.when;
-    queue_.pop();  // cancelled; discard
+void Scheduler::place_up(HeapEntry e, std::uint32_t pos) {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_pos = pos;
+    pos = parent;
   }
-  return kTimeInfinity;
+  heap_[pos] = e;
+  slots_[e.slot].heap_pos = pos;
+}
+
+void Scheduler::sift_up(std::uint32_t pos) { place_up(heap_[pos], pos); }
+
+void Scheduler::sift_down(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first = pos * 4 + 1;
+    if (first >= size) break;
+    std::uint32_t best = first;
+    const std::uint32_t end = first + 4 < size ? first + 4 : size;
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos].slot].heap_pos = pos;
+    pos = best;
+  }
+  heap_[pos] = e;
+  slots_[e.slot].heap_pos = pos;
+}
+
+// Pop path: the root hole is refilled with the (late) last entry, which
+// almost always sinks back to the bottom. Walking the min-child path to a
+// leaf first (3 comparisons per level, none against the moved entry) and
+// then sifting up from the leaf beats the textbook sift_down, which pays a
+// fourth comparison per level just to discover "keep sinking".
+void Scheduler::sift_down_from_root() {
+  const HeapEntry e = heap_[0];
+  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
+  std::uint32_t pos = 0;
+  for (;;) {
+    const std::uint32_t first = pos * 4 + 1;
+    if (first >= size) break;
+    std::uint32_t best = first;
+    const std::uint32_t end = first + 4 < size ? first + 4 : size;
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos].slot].heap_pos = pos;
+    pos = best;
+  }
+  // e lands at the leaf hole; bubble it back up to its true position
+  // (place_up directly — writing e into the hole just to re-read it would
+  // cost a measurable fraction of the pop on this path).
+  place_up(e, pos);
+}
+
+void Scheduler::heap_erase(std::uint32_t pos) {
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos].slot].heap_pos = pos;
+    heap_.pop_back();
+    // The moved-in entry may violate the heap property in either direction.
+    if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) >> 2])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Scheduler::run_top() {
+  const HeapEntry top = heap_[0];
+  const SimTime when = bits_to_time(top.time_bits);
+  ABE_CHECK_GE(when, now_);
+  now_ = when;
+  // Move the action out and retire the record *before* invoking: the action
+  // may schedule new events, growing the slab and heap under our feet.
+  Action action = std::move(slots_[top.slot].action);
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  if (last != 0) {
+    heap_[0] = heap_[last];
+    slots_[heap_[0].slot].heap_pos = 0;
+    heap_.pop_back();
+    sift_down_from_root();
+  } else {
+    heap_.pop_back();
+  }
+  release_slot(top.slot);
+  action.invoke_and_reset();
+  ++processed_;
 }
 
 std::uint64_t Scheduler::run() {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  Entry e;
-  Action action;
-  while (!stop_requested_ && pop_next(e, action)) {
-    ABE_CHECK_GE(e.when, now_);
-    now_ = e.when;
-    action();
+  while (!stop_requested_ && !heap_.empty()) {
+    run_top();
     ++n;
-    ++processed_;
   }
   return n;
 }
 
 std::uint64_t Scheduler::run_until(SimTime deadline) {
   ABE_CHECK_GE(deadline, now_);
+  const std::uint64_t deadline_bits = time_to_bits(deadline);
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (!stop_requested_ && !queue_.empty()) {
-    // Peek for the next live entry without consuming events past deadline.
-    Entry top = queue_.top();
-    auto it = actions_.find(top.id);
-    if (it == actions_.end()) {
-      queue_.pop();
-      continue;
-    }
-    if (top.when > deadline) break;
-    queue_.pop();
-    Action action = std::move(it->second);
-    actions_.erase(it);
-    now_ = top.when;
-    action();
+  while (!stop_requested_ && !heap_.empty()) {
+    if (heap_[0].time_bits > deadline_bits) break;
+    run_top();
     ++n;
-    ++processed_;
   }
   // Fast-forward to the deadline only when no live event remains at or
   // before it. When request_stop() fired with such events still pending,
@@ -95,14 +201,9 @@ std::uint64_t Scheduler::run_until(SimTime deadline) {
 std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  Entry e;
-  Action action;
-  while (n < max_events && !stop_requested_ && pop_next(e, action)) {
-    ABE_CHECK_GE(e.when, now_);
-    now_ = e.when;
-    action();
+  while (n < max_events && !stop_requested_ && !heap_.empty()) {
+    run_top();
     ++n;
-    ++processed_;
   }
   return n;
 }

@@ -2,16 +2,24 @@
 //
 // Events are (time, sequence, closure) triples processed in nondecreasing
 // time order; ties break by insertion sequence so runs are deterministic.
-// Cancellation uses lazy deletion: the heap entry stays, the action is
-// dropped, and the entry is skipped when popped.
+//
+// Layout: a slab of event records (slot-indexed, free-listed, so the
+// allocation high-water mark tracks the peak number of simultaneously live
+// events) under a 4-ary min-heap of (time, seq, slot) entries. Records keep
+// their heap position, so cancel() removes the entry directly in O(log n) —
+// no lazy-deletion tombstones accumulate under schedule/cancel churn (ARQ
+// retransmission timers cancel nearly every event they schedule). EventIds
+// carry the slot's generation count, so a handle to an event that already
+// ran or was cancelled can never touch the slot's next occupant. Actions are
+// stored inline in the record (InlineAction) — scheduling allocates nothing
+// once the slab has grown to the workload's live size.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
+#include "sim/inline_action.h"
 #include "sim/time.h"
 #include "util/ids.h"
 
@@ -19,7 +27,7 @@ namespace abe {
 
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -35,8 +43,14 @@ class Scheduler {
   // Schedules `action` after `delay` (>= 0) from now.
   EventId schedule_in(SimTime delay, Action action);
 
+  // The handle the next schedule_at/schedule_in call will return. Lets a
+  // caller capture the event's own id inside its action (timers do this) —
+  // valid only until the next scheduler mutation.
+  EventId peek_next_id() const;
+
   // Cancels a pending event. Returns false when the event already ran,
-  // was cancelled before, or never existed.
+  // was cancelled before, or never existed — even if its record slot has
+  // been reused by a newer event (generation counted).
   bool cancel(EventId id);
 
   // Runs events until the queue drains or stop is requested. Returns the
@@ -57,42 +71,96 @@ class Scheduler {
   void request_stop() { stop_requested_ = true; }
 
   // True when no live (non-cancelled) events remain.
-  bool idle() const { return actions_.empty(); }
+  bool idle() const { return heap_.empty(); }
 
-  // Time of the next live event, or +inf when idle. Prunes lazily-cancelled
-  // entries from the head of the queue.
-  SimTime next_event_time();
+  // Time of the next live event, or +inf when idle. O(1).
+  SimTime next_event_time() const {
+    return heap_.empty() ? kTimeInfinity : bits_to_time(heap_[0].time_bits);
+  }
 
   // Number of live pending events.
-  std::uint64_t live_count() const { return actions_.size(); }
+  std::uint64_t live_count() const { return heap_.size(); }
 
   // Total events processed over the scheduler's lifetime (for metrics).
   std::uint64_t processed_count() const { return processed_; }
 
- private:
-  struct Entry {
-    SimTime when;
-    std::uint64_t seq;
-    std::int64_t id;
-  };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;  // FIFO among simultaneous events
-    }
-  };
+  // Number of event records ever allocated: the high-water mark of
+  // simultaneously live events, NOT of schedules. Tests assert this stays
+  // bounded under schedule/cancel churn (the lazy-deletion design leaked a
+  // tombstone per cancel).
+  std::size_t slot_capacity() const { return slots_.size(); }
 
-  // Pops the next live event into `out` and moves its action into
-  // `out_action`. Returns false when no live events remain.
-  bool pop_next(Entry& out, Action& out_action);
+ private:
+  // Event times are non-negative doubles, whose IEEE-754 bit patterns order
+  // identically to their values; storing the bits lets the (time, seq) key
+  // compare as one wide unsigned integer instead of two branchy FP tests.
+  // The one non-negative value whose bits break that ordering is -0.0
+  // (sign bit only — it would sort after +inf), and it does pass the
+  // `when >= now_` guard, so canonicalize it to +0.0.
+  static std::uint64_t time_to_bits(SimTime t) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &t, sizeof(bits));
+    return bits == (std::uint64_t{1} << 63) ? 0 : bits;
+  }
+  static SimTime bits_to_time(std::uint64_t bits) {
+    SimTime t;
+    std::memcpy(&t, &bits, sizeof(t));
+    return t;
+  }
+
+  struct HeapEntry {
+    std::uint64_t time_bits;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct Slot {
+    std::uint32_t gen = 0;
+    std::uint32_t heap_pos = kNullPos;
+    Action action;
+  };
+  static constexpr std::uint32_t kNullPos = 0xffffffffu;
+  // Generations are clipped to 31 bits when encoded so EventId values stay
+  // non-negative (TaggedId reserves negatives for "invalid").
+  static constexpr std::uint32_t kGenMask = 0x7fffffffu;
+
+  static std::int64_t encode(std::uint32_t slot, std::uint32_t gen) {
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(gen & kGenMask) << 32) | slot);
+  }
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+#if defined(__SIZEOF_INT128__)
+    using U128 = unsigned __int128;
+    return ((U128(a.time_bits) << 64) | a.seq) <
+           ((U128(b.time_bits) << 64) | b.seq);
+#else
+    if (a.time_bits != b.time_bits) return a.time_bits < b.time_bits;
+    return a.seq < b.seq;  // FIFO among simultaneous events
+#endif
+  }
+
+  // Places `e` at heap position `pos`, bubbling it rootward as needed —
+  // the single implementation behind sift_up and the pop path.
+  void place_up(HeapEntry e, std::uint32_t pos);
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  // Leafward sift specialised for the pop path (see .cpp).
+  void sift_down_from_root();
+  // Removes the heap entry at `pos`, restoring the heap property.
+  void heap_erase(std::uint32_t pos);
+  // Returns the record slot at heap position `pos` to the free list.
+  void release_slot(std::uint32_t slot);
+  // Pops and executes the root event. Pre: !heap_.empty().
+  void run_top();
 
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stop_requested_ = false;
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-  std::unordered_map<std::int64_t, Action> actions_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap over (when, seq)
+  std::vector<Slot> slots_;      // slab of event records
+  std::vector<std::uint32_t> free_;  // recycled record slots
 };
 
 }  // namespace abe

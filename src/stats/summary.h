@@ -37,6 +37,17 @@ class Summary {
   // "mean ± hw (n=…)" for logs.
   std::string to_string() const;
 
+  // Exact (==) state comparison: true when both summaries hold identical
+  // counts and identical floating-point accumulators. Used by tests to
+  // assert parallel trial aggregation is bit-identical to serial.
+  friend bool operator==(const Summary& a, const Summary& b) {
+    return a.n_ == b.n_ && a.mean_ == b.mean_ && a.m2_ == b.m2_ &&
+           a.min_ == b.min_ && a.max_ == b.max_;
+  }
+  friend bool operator!=(const Summary& a, const Summary& b) {
+    return !(a == b);
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

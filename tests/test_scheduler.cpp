@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
+
+#include "sim/rng.h"
 
 namespace abe {
 namespace {
@@ -182,6 +185,174 @@ TEST(Scheduler, CancelInterleavedWithExecution) {
   });
   s.run();
   EXPECT_EQ(order, std::vector<int>{1});
+}
+
+// Regression: -0.0 passes the `when >= now()` guard but its raw IEEE bit
+// pattern (sign bit only) would sort after every positive time; the packed
+// key must canonicalize it so ordering matches value comparison. Clock
+// arithmetic can produce -0.0 legitimately (e.g. 0.0 * -drift).
+TEST(Scheduler, NegativeZeroTimeOrdersAsZero) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(-0.0, [&] { order.push_back(0); });
+  EXPECT_EQ(s.next_event_time(), 0.0);
+  EXPECT_EQ(s.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+
+  Scheduler s2;
+  bool ran = false;
+  s2.schedule_at(1.0, [&] { ran = true; });
+  // A -0.0 deadline must behave exactly like 0.0: nothing runs.
+  EXPECT_EQ(s2.run_until(-0.0), 0u);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s2.live_count(), 1u);
+}
+
+// Regression: the lazy-deletion design kept one tombstone heap entry per
+// cancel, so ARQ-style schedule/cancel churn grew the queue without bound.
+// Direct cancellation must keep allocated records at the live high-water
+// mark no matter how many events churn through.
+TEST(Scheduler, ChurnKeepsMemoryBounded) {
+  Scheduler s;
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(1000.0 + i, [] {});
+  }
+  for (int i = 0; i < 100000; ++i) {
+    const EventId id = s.schedule_in(1.0, [] {});
+    ASSERT_TRUE(s.cancel(id));
+  }
+  EXPECT_EQ(s.live_count(), 16u);
+  EXPECT_LE(s.slot_capacity(), 17u);
+  EXPECT_EQ(s.run(), 16u);
+}
+
+// A cancelled event's slot may be reused by a newer event; the stale handle
+// must then be rejected (generation counted), never cancel the new occupant.
+TEST(Scheduler, StaleIdAfterCancelCannotTouchSlotReuser) {
+  Scheduler s;
+  bool ran_b = false;
+  const EventId a = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(a));
+  const EventId b = s.schedule_at(2.0, [&] { ran_b = true; });
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_FALSE(s.cancel(a));  // stale: must not cancel b
+  EXPECT_EQ(s.live_count(), 1u);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_TRUE(ran_b);
+}
+
+TEST(Scheduler, StaleIdAfterRunCannotTouchSlotReuser) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1.0, [] {});
+  EXPECT_EQ(s.run(), 1u);
+  bool ran_b = false;
+  const EventId b = s.schedule_at(2.0, [&] { ran_b = true; });
+  EXPECT_FALSE(s.cancel(a));  // already ran; slot may now belong to b
+  EXPECT_TRUE(s.cancel(b));
+  EXPECT_FALSE(ran_b);
+  // And a handle for a slot that was never allocated.
+  EXPECT_FALSE(s.cancel(EventId{std::int64_t{1} << 40}));
+  EXPECT_FALSE(s.cancel(EventId{}));  // invalid (negative) handle
+}
+
+// Repeated reuse of one slot: every generation must get a distinct id and
+// exactly the right event must be cancellable at each step.
+TEST(Scheduler, GenerationsStayDistinctAcrossManyReuses) {
+  Scheduler s;
+  EventId prev{};
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = s.schedule_at(1.0, [] {});
+    EXPECT_NE(id.value(), prev.value());
+    EXPECT_FALSE(s.cancel(prev));
+    EXPECT_TRUE(s.cancel(id));
+    prev = id;
+  }
+  EXPECT_TRUE(s.idle());
+  EXPECT_LE(s.slot_capacity(), 1u);
+}
+
+TEST(Scheduler, PeekNextIdMatchesBothAllocationPaths) {
+  Scheduler s;
+  // Fresh-slot path.
+  const EventId peek_fresh = s.peek_next_id();
+  const EventId got_fresh = s.schedule_at(1.0, [] {});
+  EXPECT_EQ(peek_fresh.value(), got_fresh.value());
+  // Free-list path: a cancelled slot is recycled with a new generation.
+  EXPECT_TRUE(s.cancel(got_fresh));
+  const EventId peek_reuse = s.peek_next_id();
+  const EventId got_reuse = s.schedule_at(2.0, [] {});
+  EXPECT_EQ(peek_reuse.value(), got_reuse.value());
+  EXPECT_NE(got_reuse.value(), got_fresh.value());
+}
+
+// Random interleaving of schedules, direct cancels, and runs must preserve
+// the (time, seq) execution order exactly.
+TEST(Scheduler, RandomCancelPatternKeepsOrder) {
+  Scheduler s;
+  Rng rng(99);
+  std::vector<EventId> pending;
+  int executed = 0;
+  double last = -1.0;
+  bool monotone = true;
+  int scheduled = 0;
+  int cancelled = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const double when = s.now() + rng.uniform01() * 100.0;
+    pending.push_back(s.schedule_at(when, [&, when] {
+      if (when < last) monotone = false;
+      last = when;
+      ++executed;
+    }));
+    ++scheduled;
+    if (rng.bernoulli(0.4) && !pending.empty()) {
+      const std::size_t pick = rng.uniform_int(pending.size());
+      if (s.cancel(pending[pick])) ++cancelled;
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (rng.bernoulli(0.3)) s.run_steps(1 + rng.uniform_int(3));
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(executed, scheduled - cancelled);
+  EXPECT_TRUE(s.idle());
+}
+
+// Actions larger than the inline buffer fall back to the heap and must be
+// invoked and destroyed exactly once.
+TEST(Scheduler, OversizedActionsRunAndDestruct) {
+  Scheduler s;
+  auto token = std::make_shared<int>(0);
+  struct Big {
+    std::shared_ptr<int> p;
+    double padding[8];
+    void operator()() const { ++*p; }
+  };
+  static_assert(!InlineAction::stores_inline<Big>(),
+                "Big must exercise the heap fallback");
+  s.schedule_at(1.0, Big{token, {}});
+  const EventId cancelled = s.schedule_at(2.0, Big{token, {}});
+  EXPECT_EQ(token.use_count(), 3);
+  EXPECT_TRUE(s.cancel(cancelled));
+  EXPECT_EQ(token.use_count(), 2);  // cancelled action destroyed eagerly
+  s.run();
+  EXPECT_EQ(*token, 1);
+  EXPECT_EQ(token.use_count(), 1);  // run action destroyed after firing
+}
+
+// The delivery closure — the hottest event in the simulator — must stay
+// within the inline buffer (scheduling it must not allocate).
+TEST(Scheduler, HotPathClosuresStoreInline) {
+  struct DeliveryShaped {
+    void* net;
+    std::size_t edge;
+    std::shared_ptr<const int> payload;
+    double sent_at;
+    void operator()() const {}
+  };
+  static_assert(InlineAction::stores_inline<DeliveryShaped>(),
+                "delivery closures must not allocate");
+  SUCCEED();
 }
 
 TEST(Scheduler, ManyEventsStressOrdering) {
