@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate abe_scenarios sweep JSON against the v1 schema.
+
+  python3 bench/validate_scenarios.py sweep.json [more.json ...]
+
+Checks the structure the "abe-scenario-sweep-v1" schema promises — the
+metadata provenance block, per-cell axes, and aggregate summaries — plus the
+one correctness gate a structural check can carry: safety_violations == 0
+(a cell that elected two leaders is a bug, not a perf delta). Exit codes:
+0 valid, 1 schema violation or safety violation, 2 unreadable input.
+
+CI runs this in the scenario-smoke job; it is dependency-free on purpose
+(stdlib json only).
+"""
+
+import json
+import sys
+
+SCHEMA = "abe-scenario-sweep-v1"
+
+METADATA_FIELDS = {
+    "git_sha": str,
+    "compiler": str,
+    "build_type": str,
+    "trial_threads": int,
+    "trials": int,
+    "seed_base": int,
+}
+
+SUMMARY_FIELDS = {
+    "count": int,
+    "mean": (int, float),
+    "stddev": (int, float),
+    "min": (int, float),
+    "max": (int, float),
+    "ci95": (int, float),
+}
+
+CELL_FIELDS = {
+    "cell": str,
+    "scenario": str,
+    "algorithm": str,
+    "topology": dict,
+    "delay": dict,
+    "clock": dict,
+    "failure": str,
+    "trials": int,
+    "failures": int,
+    "safety_violations": int,
+    "messages": dict,
+    "time": dict,
+}
+
+
+def fail(path, what):
+    print(f"{path}: INVALID: {what}", file=sys.stderr)
+    return False
+
+
+def check_fields(path, obj, fields, where):
+    for key, typ in fields.items():
+        if key not in obj:
+            return fail(path, f"{where} missing '{key}'")
+        if not isinstance(obj[key], typ):
+            return fail(path, f"{where} field '{key}' has type "
+                              f"{type(obj[key]).__name__}")
+    return True
+
+
+def validate(path, doc):
+    if doc.get("schema") != SCHEMA:
+        return fail(path, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    metadata = doc.get("metadata")
+    if not isinstance(metadata, dict):
+        return fail(path, "metadata is not an object")
+    if not check_fields(path, metadata, METADATA_FIELDS, "metadata"):
+        return False
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return fail(path, "cells must be a non-empty array")
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            return fail(path, f"{where} is not an object")
+        if not check_fields(path, cell, CELL_FIELDS, where):
+            return False
+        topo = cell["topology"]
+        if not isinstance(topo.get("family"), str) or \
+                not isinstance(topo.get("n"), int) or topo["n"] < 1:
+            return fail(path, f"{where}.topology malformed")
+        for summary_key in ("messages", "time"):
+            if not check_fields(path, cell[summary_key], SUMMARY_FIELDS,
+                                f"{where}.{summary_key}"):
+                return False
+        completed = cell["trials"] - cell["failures"]
+        if cell["messages"]["count"] != completed:
+            return fail(path, f"{where}: summary count "
+                              f"{cell['messages']['count']} != completed "
+                              f"trials {completed}")
+        if cell["safety_violations"] != 0:
+            return fail(path, f"{where} ({cell['cell']}): "
+                              f"{cell['safety_violations']} safety "
+                              "violation(s) — a correctness bug, not noise")
+    print(f"{path}: ok ({len(cells)} cells, "
+          f"sha {metadata['git_sha']}, {metadata['compiler']})")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{path}: cannot read: {err}", file=sys.stderr)
+            return 2
+        ok = validate(path, doc) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,263 @@
+// abe_scenarios: the scenario-engine CLI.
+//
+//   abe_scenarios list                      # registered scenarios + sweeps
+//   abe_scenarios describe <scenario>       # full spec of one scenario
+//   abe_scenarios run <scenario> [flags]    # run one scenario's cell
+//   abe_scenarios sweep [<sweep>] [flags]   # expand + run a scenario matrix
+//
+// Common flags:
+//   --trials N    trials per cell (default: the spec's default_trials)
+//   --seed N      seed base (default 1; trials use seed, seed+1, …)
+//   --threads N   trial-pool width (default: ABE_TRIAL_THREADS or serial)
+//   --json PATH   also write the structured sweep JSON ("-" for stdout)
+//   --n N         override the topology size (run only)
+//   --delay NAME --mean M   override the delay model (run only)
+//
+// Results are bit-identical for every --threads value (see
+// src/scenario/sweep.h); the JSON carries the same provenance metadata as
+// the BENCH_*.json perf trajectory.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/trial_pool.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
+#include "stats/table.h"
+#include "util/cli.h"
+
+// Provenance injected by abe_add_buildinfo (top-level CMakeLists); the
+// fallbacks keep stray compilations working.
+#ifdef ABE_BENCH_HAVE_SHA_HEADER
+#include "abe_bench_git_sha.h"
+#endif
+#ifndef ABE_BENCH_GIT_SHA
+#define ABE_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef ABE_BENCH_COMPILER
+#define ABE_BENCH_COMPILER "unknown"
+#endif
+#ifndef ABE_BENCH_BUILD_TYPE
+#define ABE_BENCH_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+int usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s describe <scenario>\n"
+               "       %s run <scenario> [--trials N] [--seed N] "
+               "[--threads N] [--n N] [--delay NAME] [--mean M] "
+               "[--json PATH]\n"
+               "       %s sweep [<sweep>] [--trials N] [--seed N] "
+               "[--threads N] [--json PATH]\n",
+               program, program, program, program);
+  return 2;
+}
+
+int cmd_list() {
+  abe::Table scenarios({"scenario", "cell", "about"});
+  for (const abe::ScenarioSpec& s : abe::scenario_registry()) {
+    scenarios.add_row({s.name, s.cell_id(), s.description});
+  }
+  std::printf("%s\n", scenarios.render("registered scenarios").c_str());
+
+  abe::Table sweeps({"sweep", "cells", "about"});
+  for (const abe::ScenarioMatrix& m : abe::sweep_registry()) {
+    sweeps.add_row({m.name, abe::Table::fmt_int(static_cast<std::int64_t>(
+                                m.expand().size())),
+                    m.description});
+  }
+  std::printf("%s\n", sweeps.render("registered sweeps").c_str());
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const abe::ScenarioSpec* spec = abe::find_scenario(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try `list`)\n",
+                 name.c_str());
+    return 2;
+  }
+  std::printf("%s", spec->describe().c_str());
+  return 0;
+}
+
+abe::SweepRunMetadata make_metadata(std::uint64_t trials,
+                                    std::uint64_t seed_base,
+                                    unsigned threads) {
+  abe::SweepRunMetadata meta;
+  meta.git_sha = ABE_BENCH_GIT_SHA;
+  meta.compiler = ABE_BENCH_COMPILER;
+  meta.build_type = ABE_BENCH_BUILD_TYPE;
+  meta.threads = abe::resolve_trial_threads(threads);
+  meta.trials = trials;
+  meta.seed_base = seed_base;
+  return meta;
+}
+
+// Writes the sweep JSON to `path` ("-" = stdout). Returns false on I/O
+// failure.
+bool emit_json(const std::string& path, const abe::SweepRunMetadata& meta,
+               const std::vector<abe::SweepCellOutcome>& outcomes) {
+  if (path == "-") {
+    abe::write_sweep_json(std::cout, meta, outcomes);
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  abe::write_sweep_json(out, meta, outcomes);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+// Shared tail of `run` and `sweep`: execute cells, print the table, emit
+// JSON, and fail the process when any cell violated safety.
+int run_cells(std::vector<abe::ScenarioSpec> cells,
+              const abe::CliFlags& flags) {
+  const std::int64_t trials_flag = flags.get_int("trials", 0);
+  const std::int64_t seed_flag = flags.get_int("seed", 1);
+  const std::int64_t threads_flag = flags.get_int("threads", 0);
+  if (trials_flag < 0 || seed_flag < 0 || threads_flag < 0 ||
+      threads_flag > 4096) {
+    std::fprintf(stderr,
+                 "--trials/--seed must be >= 0 and --threads in [0, 4096]\n");
+    return 2;
+  }
+  const auto trials = static_cast<std::uint64_t>(trials_flag);
+  const auto seed_base = static_cast<std::uint64_t>(seed_flag);
+  const auto threads = static_cast<unsigned>(threads_flag);
+
+  const auto outcomes = abe::run_sweep(
+      cells, trials, seed_base, threads,
+      [](std::size_t i, std::size_t total,
+         const abe::SweepCellOutcome& outcome) {
+        const auto& agg = outcome.aggregate;
+        std::fprintf(stderr, "[%zu/%zu] %s: %llu/%llu ok\n", i + 1, total,
+                     outcome.spec.cell_id().c_str(),
+                     static_cast<unsigned long long>(
+                         agg.messages.count() - agg.safety_violations),
+                     static_cast<unsigned long long>(agg.trials));
+      });
+
+  // With `--json -` stdout must stay a single parseable JSON document, so
+  // the human-readable table moves to stderr next to the progress lines.
+  const std::string json_path = flags.get_string("json", "");
+  std::fprintf(json_path == "-" ? stderr : stdout, "%s\n",
+               abe::render_sweep_table(outcomes).c_str());
+  if (!json_path.empty() &&
+      !emit_json(json_path, make_metadata(trials, seed_base, threads),
+                 outcomes)) {
+    return 2;
+  }
+
+  std::uint64_t unsafe = 0;
+  for (const auto& outcome : outcomes) {
+    unsafe += outcome.aggregate.safety_violations;
+  }
+  if (unsafe > 0) {
+    std::fprintf(stderr, "%llu trial(s) violated safety\n",
+                 static_cast<unsigned long long>(unsafe));
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_run(const std::string& name, const abe::CliFlags& flags) {
+  const abe::ScenarioSpec* registered = abe::find_scenario(name);
+  if (registered == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try `list`)\n",
+                 name.c_str());
+    return 2;
+  }
+  abe::ScenarioSpec spec = *registered;
+  if (flags.has("n")) {
+    const std::int64_t n =
+        flags.get_int("n", static_cast<std::int64_t>(spec.topology.n));
+    if (n < 1) {
+      std::fprintf(stderr, "--n must be >= 1\n");
+      return 2;
+    }
+    spec.topology.n = static_cast<std::size_t>(n);
+  }
+  // User input must not reach the library's aborting size checks.
+  const std::string problem = spec.topology.problem();
+  if (!problem.empty()) {
+    std::fprintf(stderr, "invalid topology for '%s': %s\n", name.c_str(),
+                 problem.c_str());
+    return 2;
+  }
+  if (flags.has("delay")) {
+    const std::string delay = flags.get_string("delay", spec.delay_name);
+    const auto& known = abe::standard_delay_model_names();
+    if (std::find(known.begin(), known.end(), delay) == known.end()) {
+      std::fprintf(stderr, "unknown delay model '%s'; known:", delay.c_str());
+      for (const auto& name : known) std::fprintf(stderr, " %s", name.c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    spec.delay_name = delay;
+  }
+  if (flags.has("mean")) {
+    const double mean = flags.get_double("mean", spec.mean_delay);
+    if (mean <= 0.0) {
+      std::fprintf(stderr, "--mean must be > 0\n");
+      return 2;
+    }
+    spec.mean_delay = mean;
+  }
+  return run_cells({std::move(spec)}, flags);
+}
+
+int cmd_sweep(const std::string& name, const abe::CliFlags& flags) {
+  const abe::ScenarioMatrix* matrix = abe::find_sweep(name);
+  if (matrix == nullptr) {
+    std::fprintf(stderr, "unknown sweep '%s' (try `list`)\n", name.c_str());
+    return 2;
+  }
+  return run_cells(matrix->expand(), flags);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const abe::CliFlags flags(argc, argv);
+  // Register the full flag vocabulary up front so a typo'd flag is rejected
+  // before any trials run, not silently defaulted.
+  for (const char* known :
+       {"trials", "seed", "threads", "json", "n", "delay", "mean"}) {
+    flags.has(known);
+  }
+  const auto unknown = flags.unknown_flags();
+  if (!unknown.empty()) {
+    for (const auto& flag : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    }
+    return usage(argv[0]);
+  }
+
+  const auto& args = flags.positional();
+  if (args.empty()) return usage(argv[0]);
+  const std::string& command = args[0];
+
+  if (command == "list") return cmd_list();
+  if (command == "describe") {
+    if (args.size() < 2) return usage(argv[0]);
+    return cmd_describe(args[1]);
+  }
+  if (command == "run") {
+    if (args.size() < 2) return usage(argv[0]);
+    return cmd_run(args[1], flags);
+  }
+  if (command == "sweep") {
+    return cmd_sweep(args.size() >= 2 ? args[1] : "robustness", flags);
+  }
+  return usage(argv[0]);
+}

@@ -2,25 +2,32 @@
 //
 //   ./adhoc_field --n 36 --radius 0.25 --delay weibull --seed 3
 //
-// Drops n sensors uniformly in the unit square, connects radios within
-// range (growing the range until the field is connected), estimates the
-// delay bound δ̂ online from probe traffic, and then spreads a rumor by
-// push gossip — printing the wavefront statistics and an ASCII map of the
-// field with per-node inform times.
+// This example is a registered scenario: its defaults (topology family,
+// delay law, drift band) come from the "adhoc-field" entry in the scenario
+// registry (src/scenario/scenario.h), so `abe_scenarios run adhoc-field`
+// sweeps the very same cell the CLI flags tweak here. The example adds the
+// parts a sweep doesn't show: an online δ̂ estimate from probe traffic and
+// an ASCII map of the field.
 #include <cstdio>
 #include <vector>
 
 #include "algo/gossip.h"
 #include "core/delta_estimator.h"
 #include "net/topology.h"
+#include "scenario/scenario.h"
 #include "stats/table.h"
+#include "util/check.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
+  const abe::ScenarioSpec* spec = abe::find_scenario("adhoc-field");
+  ABE_CHECK(spec != nullptr);
+
   abe::CliFlags flags(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 36));
-  const double radius = flags.get_double("radius", 0.25);
-  const std::string delay = flags.get_string("delay", "weibull");
+  const std::size_t n = static_cast<std::size_t>(
+      flags.get_int("n", static_cast<std::int64_t>(spec->topology.n)));
+  const double radius = flags.get_double("radius", spec->topology.param);
+  const std::string delay = flags.get_string("delay", spec->delay_name);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 3));
 
@@ -32,7 +39,7 @@ int main(int argc, char** argv) {
 
   // Estimate the delay bound from probe samples of the actual law —
   // the deployment does not need to *know* the distribution, only observe.
-  const auto model = abe::make_delay_model(delay, 1.0);
+  const auto model = abe::make_delay_model(delay, spec->mean_delay);
   abe::DeltaEstimator estimator;
   for (int i = 0; i < 2000; ++i) estimator.observe(model->sample(rng));
   std::printf("delay law '%s' (true mean %.2f): estimated mean %.2f, "
@@ -40,11 +47,14 @@ int main(int argc, char** argv) {
               delay.c_str(), model->mean_delay(),
               estimator.mean_estimate(), estimator.upper_bound());
 
+  // The scenario's environment (drift band, deadline), this field's graph.
   abe::GossipExperiment experiment;
   experiment.topology = field;
   experiment.delay_name = delay;
-  experiment.clock_bounds = abe::ClockBounds{0.8, 1.25};
-  experiment.drift = abe::DriftModel::kPiecewiseRandom;
+  experiment.mean_delay = spec->mean_delay;
+  experiment.clock_bounds = spec->clock_bounds;
+  experiment.drift = spec->drift;
+  experiment.deadline = spec->deadline;
   experiment.seed = seed;
   const abe::GossipResult result = abe::run_gossip(experiment);
   if (!result.all_informed) {

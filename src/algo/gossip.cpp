@@ -38,10 +38,14 @@ GossipResult run_gossip(const GossipExperiment& experiment) {
 
   NetworkConfig config;
   config.topology = experiment.topology;
-  config.delay =
-      make_delay_model(experiment.delay_name, experiment.mean_delay);
+  config.delay = experiment.delay
+                     ? experiment.delay
+                     : make_delay_model(experiment.delay_name,
+                                        experiment.mean_delay);
   config.clock_bounds = experiment.clock_bounds;
   config.drift = experiment.drift;
+  config.processing = experiment.processing;
+  config.loss_probability = experiment.loss_probability;
   config.enable_ticks = true;
   config.seed = experiment.seed;
 

@@ -53,8 +53,13 @@ struct GossipExperiment {
   std::size_t source = 0;
   std::string delay_name = "exponential";
   double mean_delay = 1.0;
+  DelayModelPtr delay;  // takes precedence over delay_name when set
   ClockBounds clock_bounds{};
   DriftModel drift = DriftModel::kNone;
+  ProcessingModel processing = ProcessingModel::zero();
+  // Per-attempt silent push drop (failure injection). Gossip keeps pushing
+  // every tick, so lost rumors delay — not prevent — dissemination.
+  double loss_probability = 0.0;
   std::uint64_t seed = 1;
   SimTime deadline = 1e6;
 };

@@ -1,0 +1,307 @@
+#include "algo/polling_election.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/trial_pool.h"
+#include "util/check.h"
+
+namespace abe {
+
+const char* polling_state_name(PollingState s) {
+  switch (s) {
+    case PollingState::kAsleep:
+      return "asleep";
+    case PollingState::kPolled:
+      return "polled";
+    case PollingState::kPassive:
+      return "passive";
+    case PollingState::kLeader:
+      return "leader";
+  }
+  return "?";
+}
+
+std::string PollPayload::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kWake:
+      os << "Wake(r=" << round_ << ")";
+      break;
+    case Kind::kEcho:
+      os << "Echo(r=" << round_ << ", best=" << id_ << ", count=" << count_
+         << ")";
+      break;
+    case Kind::kResult:
+      os << "Result(r=" << round_ << ", winner=" << id_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::vector<PollingWiring> build_polling_wiring(const Topology& topology,
+                                                std::size_t root) {
+  const SpanningTree tree = bfs_spanning_tree(topology, root);
+  const auto chan = out_channel_to_neighbor(topology);
+  std::vector<PollingWiring> wiring(topology.n);
+  for (std::size_t i = 0; i < topology.n; ++i) {
+    wiring[i].is_root = (i == root);
+    if (i != root) {
+      const std::size_t up = chan[i][tree.parent[i]];
+      ABE_CHECK_NE(up, SIZE_MAX) << "tree edge lacks a reverse channel";
+      wiring[i].parent_out = up;
+    }
+    for (std::size_t c : tree.children[i]) {
+      const std::size_t down = chan[i][c];
+      ABE_CHECK_NE(down, SIZE_MAX);
+      wiring[i].children_out.push_back(down);
+    }
+  }
+  return wiring;
+}
+
+PollingElectionNode::PollingElectionNode(PollingWiring wiring,
+                                         PollingOptions options)
+    : wiring_(std::move(wiring)), options_(std::move(options)) {
+  ABE_CHECK_GE(options_.id_bits, 1u);
+  ABE_CHECK_LE(options_.id_bits, 64u);
+}
+
+std::uint64_t PollingElectionNode::draw_id(Context& ctx) {
+  if (options_.id_bits == 64) return ctx.rng().next_u64();
+  return ctx.rng().uniform_int(std::uint64_t{1} << options_.id_bits);
+}
+
+void PollingElectionNode::on_start(Context& ctx) {
+  if (wiring_.is_root) begin_round(ctx, 0);
+}
+
+void PollingElectionNode::begin_round(Context& ctx, std::uint64_t round) {
+  woken_ = true;
+  state_ = PollingState::kPolled;
+  round_ = round;
+  id_ = draw_id(ctx);
+  best_ = id_;
+  best_count_ = 1;
+  children_reported_ = 0;
+  for (std::size_t out : wiring_.children_out) {
+    ctx.send(out, std::make_unique<PollPayload>(PollPayload::Kind::kWake,
+                                                round, 0, 0));
+  }
+  if (wiring_.children_out.empty()) report_or_decide(ctx);
+}
+
+void PollingElectionNode::on_message(Context& ctx, std::size_t /*in_index*/,
+                                     const Payload& payload) {
+  const auto& msg = payload_as<PollPayload>(payload);
+  switch (msg.kind()) {
+    case PollPayload::Kind::kWake:
+      // Rounds are strictly sequenced by the convergecast: a parent only
+      // starts r+1 after every child echoed r, so no Wake can skip ahead.
+      ABE_CHECK_EQ(msg.round(), woken_ ? round_ + 1 : 0u);
+      begin_round(ctx, msg.round());
+      break;
+    case PollPayload::Kind::kEcho: {
+      ABE_CHECK_EQ(msg.round(), round_);
+      // Extinction: only the largest id's wave survives the combine.
+      if (msg.id() > best_) {
+        best_ = msg.id();
+        best_count_ = msg.count();
+      } else if (msg.id() == best_) {
+        best_count_ += msg.count();
+      }
+      ++children_reported_;
+      if (children_reported_ == wiring_.children_out.size()) {
+        report_or_decide(ctx);
+      }
+      break;
+    }
+    case PollPayload::Kind::kResult:
+      ABE_CHECK_EQ(msg.round(), round_);
+      finish(ctx, msg.id());
+      break;
+  }
+}
+
+void PollingElectionNode::report_or_decide(Context& ctx) {
+  if (!wiring_.is_root) {
+    ctx.send(wiring_.parent_out,
+             std::make_unique<PollPayload>(PollPayload::Kind::kEcho, round_,
+                                           best_, best_count_));
+    return;
+  }
+  if (best_count_ == 1) {
+    finish(ctx, best_);
+  } else {
+    // Tie among best_count_ nodes: poll everyone again with fresh ids.
+    begin_round(ctx, round_ + 1);
+  }
+}
+
+void PollingElectionNode::finish(Context& ctx, std::uint64_t winner) {
+  for (std::size_t out : wiring_.children_out) {
+    ctx.send(out, std::make_unique<PollPayload>(PollPayload::Kind::kResult,
+                                                round_, winner, 0));
+  }
+  if (id_ == winner) {
+    state_ = PollingState::kLeader;
+    if (options_.on_leader) options_.on_leader(ctx.self(), ctx.real_now());
+  } else {
+    state_ = PollingState::kPassive;
+  }
+}
+
+PollingRunResult run_polling_election(const PollingExperiment& experiment) {
+  validate_topology(experiment.topology);
+
+  NetworkConfig config;
+  config.topology = experiment.topology;
+  config.delay = experiment.delay
+                     ? experiment.delay
+                     : make_delay_model(experiment.delay_name,
+                                        experiment.mean_delay);
+  config.ordering = experiment.ordering;
+  config.clock_bounds = experiment.clock_bounds;
+  config.drift = experiment.drift;
+  config.processing = experiment.processing;
+  config.loss_probability = experiment.loss_probability;
+  config.seed = experiment.seed;
+
+  struct Watch {
+    std::uint64_t leader_count = 0;
+    std::size_t last_leader = 0;
+    SimTime when = 0.0;
+  } watch;
+
+  const std::vector<PollingWiring> wiring =
+      build_polling_wiring(experiment.topology);
+
+  Network net(std::move(config));
+  net.build_nodes([&](std::size_t i) -> NodePtr {
+    PollingOptions options;
+    options.id_bits = experiment.id_bits;
+    options.on_leader = [&watch](NodeId node, SimTime when) {
+      ++watch.leader_count;
+      watch.last_leader = static_cast<std::size_t>(node.value());
+      watch.when = when;
+    };
+    return std::make_unique<PollingElectionNode>(wiring[i],
+                                                 std::move(options));
+  });
+  net.start();
+
+  PollingRunResult result;
+  const bool elected = net.run_until(
+      [&] { return watch.leader_count > 0; }, experiment.deadline);
+  if (!elected) {
+    result.safety_detail = "no leader before deadline";
+    return result;
+  }
+
+  result.elected = true;
+  result.leader_index = watch.last_leader;
+  result.election_time = net.now();
+  result.messages = net.metrics().messages_sent;
+
+  // Let the RESULT broadcast drain so the terminal configuration (and any
+  // second leader a bug would produce) is observable. The protocol has no
+  // tick generators and the broadcast sends a bounded message count, so the
+  // queue always drains — no settle window to tune (a timed window would
+  // truncate deep trees: the RESULT descends depth-many channels in
+  // sequence, an Erlang-depth tail).
+  net.run_until_quiescent();
+  result.messages_total = net.metrics().messages_sent;
+  result.max_leaders_ever = watch.leader_count;
+
+  std::ostringstream detail;
+  std::size_t leaders = 0;
+  std::size_t passives = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& node = static_cast<const PollingElectionNode&>(net.node(i));
+    if (node.woken()) ++result.woken;
+    if (node.state() == PollingState::kLeader) {
+      ++leaders;
+      result.rounds = node.round() + 1;
+    } else if (node.state() == PollingState::kPassive) {
+      ++passives;
+    }
+  }
+
+  // Safety proper: the protocol must never mint two leaders, lossy or not
+  // (a RESULT names one winner id and only its holder leads).
+  bool safe = true;
+  if (leaders > 1 || watch.leader_count > 1) {
+    safe = false;
+    detail << "more than one leader (" << leaders << " now, "
+           << watch.leader_count << " ever); ";
+  }
+
+  // Termination completeness: guaranteed on reliable channels; loss can
+  // strand kPolled nodes behind a dropped RESULT (or unwoken ones behind a
+  // dropped WAKE), which is the injected failure, not an algorithm bug.
+  bool terminated = true;
+  if (leaders != 1) {
+    terminated = false;
+    detail << "expected exactly 1 leader, found " << leaders << "; ";
+  }
+  if (passives != net.size() - 1) {
+    terminated = false;
+    detail << "expected " << net.size() - 1 << " passive nodes, found "
+           << passives << "; ";
+  }
+  if (result.woken != net.size()) {
+    terminated = false;
+    detail << "polling incomplete: only " << result.woken << " of "
+           << net.size() << " nodes were woken; ";
+  }
+  if (net.metrics().in_flight() != 0) {
+    terminated = false;
+    detail << net.metrics().in_flight() << " messages still in flight; ";
+  }
+
+  result.terminated = terminated;
+  result.safety_ok =
+      experiment.loss_probability == 0.0 ? safe && terminated : safe;
+  result.safety_detail = detail.str();
+  return result;
+}
+
+void PollingAggregate::merge(const PollingAggregate& other) {
+  messages.merge(other.messages);
+  time.merge(other.time);
+  rounds.merge(other.rounds);
+  trials += other.trials;
+  failures += other.failures;
+  safety_violations += other.safety_violations;
+}
+
+PollingAggregate run_polling_trials(PollingExperiment experiment,
+                                    std::uint64_t trials,
+                                    std::uint64_t seed_base,
+                                    unsigned threads) {
+  return run_seed_chunked_trials<PollingAggregate>(
+      trials, seed_base, threads,
+      [&experiment](std::uint64_t seed_lo, std::uint64_t seed_hi,
+                    PollingAggregate& out) {
+        PollingExperiment e = experiment;
+        for (std::uint64_t s = seed_lo; s < seed_hi; ++s) {
+          e.seed = s;
+          const PollingRunResult run = run_polling_election(e);
+          ++out.trials;
+          // A run that elected but could not finish its broadcast (loss
+          // injection) is a failed trial, not a safety violation.
+          if (!run.elected || !run.terminated) {
+            ++out.failures;
+            continue;
+          }
+          if (!run.safety_ok) {
+            ++out.safety_violations;
+          }
+          out.messages.add(static_cast<double>(run.messages));
+          out.time.add(run.election_time);
+          out.rounds.add(static_cast<double>(run.rounds));
+        }
+      });
+}
+
+}  // namespace abe

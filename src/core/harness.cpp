@@ -1,14 +1,10 @@
 #include "core/harness.h"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
 #include <sstream>
-#include <string_view>
-#include <thread>
-#include <vector>
 
 #include "core/abe.h"
+#include "core/trial_pool.h"
 #include "net/topology.h"
 #include "util/check.h"
 
@@ -49,6 +45,7 @@ ElectionRunResult run_election(const ElectionExperiment& experiment) {
   config.drift = experiment.drift;
   config.processing = experiment.processing;
   config.enable_ticks = true;
+  config.loss_probability = experiment.loss_probability;
   config.seed = experiment.seed;
 
   Network net(std::move(config));
@@ -120,7 +117,10 @@ ElectionRunResult run_election(const ElectionExperiment& experiment) {
     detail << "expected " << net.size() - 1 << " passive nodes, found "
            << passives << "; ";
   }
-  if (net.metrics().in_flight() != 0) {
+  // Dropped messages mean a token died in the channel — with failure
+  // injection the run can still elect by luck, but quiescence is no longer
+  // token conservation, so only require in-flight == 0 on lossless runs.
+  if (experiment.loss_probability == 0.0 && net.metrics().in_flight() != 0) {
     ok = false;
     detail << net.metrics().in_flight() << " messages still in flight; ";
   }
@@ -140,110 +140,37 @@ void ElectionAggregate::merge(const ElectionAggregate& other) {
   safety_violations += other.safety_violations;
 }
 
-namespace {
-
-// Aggregation chunk size. Fixed — never derived from the thread count — so
-// the merge tree, and with it every floating-point bit of the result, is
-// identical no matter how many workers ran the trials.
-constexpr std::uint64_t kTrialChunk = 8;
-
-unsigned resolve_trial_threads(unsigned threads) {
-  if (threads != 0) return threads;
-  if (const char* env = std::getenv("ABE_TRIAL_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
-      return static_cast<unsigned>(v);
-    }
-    if (std::string_view(env) == "all") {
-      const unsigned hw = std::thread::hardware_concurrency();
-      return hw == 0 ? 1 : hw;
-    }
-  }
-  // Default is serial: many callers (ctest -j, bench sweeps) already run
-  // processes in parallel, and grabbing every core per call would
-  // oversubscribe them. Parallelism is an explicit opt-in.
-  return 1;
-}
-
-// Runs trials with seeds [seed_lo, seed_hi) sequentially into `out`.
-void run_trial_chunk(const ElectionExperiment& base, std::uint64_t seed_lo,
-                     std::uint64_t seed_hi, ElectionAggregate& out) {
-  ElectionExperiment e = base;
-  for (std::uint64_t s = seed_lo; s < seed_hi; ++s) {
-    e.seed = s;
-    const ElectionRunResult run = run_election(e);
-    ++out.trials;
-    if (!run.elected) {
-      ++out.failures;
-      continue;
-    }
-    if (!run.safety_ok) {
-      ++out.safety_violations;
-    }
-    out.messages.add(static_cast<double>(run.messages));
-    out.time.add(run.election_time);
-    out.ticks.add(static_cast<double>(run.ticks));
-    out.activations.add(static_cast<double>(run.activations));
-    out.purges.add(static_cast<double>(run.purges));
-  }
-}
-
-}  // namespace
-
 ElectionAggregate run_election_trials(ElectionExperiment experiment,
                                       std::uint64_t trials,
                                       std::uint64_t seed_base,
                                       unsigned threads) {
-  ABE_CHECK_GT(trials, 0u);
-  const std::uint64_t chunks = (trials + kTrialChunk - 1) / kTrialChunk;
-  const auto run_chunk = [&](std::uint64_t c, ElectionAggregate& out) {
-    const std::uint64_t lo = seed_base + c * kTrialChunk;
-    const std::uint64_t hi =
-        seed_base + std::min(trials, (c + 1) * kTrialChunk);
-    run_trial_chunk(experiment, lo, hi, out);
-  };
-
-  const unsigned workers = static_cast<unsigned>(std::min<std::uint64_t>(
-      resolve_trial_threads(threads), chunks));
-  if (workers <= 1) {
-    // Chunks complete in order, so each one can merge into the result as
-    // soon as it finishes — the exact merge sequence the parallel path
-    // performs below, in O(1) memory instead of O(chunks).
-    ElectionAggregate agg;
-    for (std::uint64_t c = 0; c < chunks; ++c) {
-      ElectionAggregate chunk;
-      run_chunk(c, chunk);
-      agg.merge(chunk);
-    }
-    return agg;
-  }
-
-  std::vector<ElectionAggregate> partial(chunks);
-  {
-    // Each Network/Scheduler lives entirely inside its trial, so workers
-    // share nothing but the read-only experiment spec (DelayModel::sample
-    // is const and stateless — the rng lives in the network).
-    std::atomic<std::uint64_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::uint64_t c = next.fetch_add(1); c < chunks;
-             c = next.fetch_add(1)) {
-          run_chunk(c, partial[c]);
+  // Each Network/Scheduler lives entirely inside its trial, so chunk
+  // workers share nothing but the read-only experiment spec
+  // (DelayModel::sample is const and stateless — the rng lives in the
+  // network).
+  return run_seed_chunked_trials<ElectionAggregate>(
+      trials, seed_base, threads,
+      [&experiment](std::uint64_t seed_lo, std::uint64_t seed_hi,
+                    ElectionAggregate& out) {
+        ElectionExperiment e = experiment;
+        for (std::uint64_t s = seed_lo; s < seed_hi; ++s) {
+          e.seed = s;
+          const ElectionRunResult run = run_election(e);
+          ++out.trials;
+          if (!run.elected) {
+            ++out.failures;
+            continue;
+          }
+          if (!run.safety_ok) {
+            ++out.safety_violations;
+          }
+          out.messages.add(static_cast<double>(run.messages));
+          out.time.add(run.election_time);
+          out.ticks.add(static_cast<double>(run.ticks));
+          out.activations.add(static_cast<double>(run.activations));
+          out.purges.add(static_cast<double>(run.purges));
         }
       });
-    }
-    for (auto& t : pool) t.join();
-  }
-
-  // Merge in seed (chunk) order: the only source of nondeterminism in the
-  // parallel run is which worker ran a chunk, and that cannot reach the
-  // result through an order-fixed merge.
-  ElectionAggregate agg;
-  for (const auto& p : partial) agg.merge(p);
-  return agg;
 }
 
 }  // namespace abe

@@ -28,6 +28,10 @@ struct ElectionExperiment {
   ClockBounds clock_bounds{};
   DriftModel drift = DriftModel::kNone;
   ProcessingModel processing = ProcessingModel::zero();
+  // Per-attempt silent message drop (failure injection; scenario engine).
+  // The ABE model itself requires reliable delivery, so the default is 0;
+  // lossy runs report robustness, not the paper's regime.
+  double loss_probability = 0.0;
   std::uint64_t seed = 1;
   // Give up (and report failure) past this simulated time.
   SimTime deadline = 1e7;

@@ -1,0 +1,27 @@
+#include "core/trial_pool.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace abe {
+
+unsigned resolve_trial_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  if (const char* env = std::getenv("ABE_TRIAL_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+    if (std::string_view(env) == "all") {
+      const unsigned hw = std::thread::hardware_concurrency();
+      return hw == 0 ? 1 : hw;
+    }
+  }
+  // Default is serial: many callers (ctest -j, bench sweeps) already run
+  // processes in parallel, and grabbing every core per call would
+  // oversubscribe them. Parallelism is an explicit opt-in.
+  return 1;
+}
+
+}  // namespace abe

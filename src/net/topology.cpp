@@ -133,6 +133,9 @@ Topology random_connected(std::size_t n, double p, Rng& rng) {
   ABE_CHECK_GE(n, 1u);
   ABE_CHECK_GE(p, 0.0);
   ABE_CHECK_LE(p, 1.0);
+  // Tiny-n clamp (see header): with n <= 2 the single possible undirected
+  // edge is mandatory, so any p < 1 only burns resample attempts.
+  if (n <= 2) p = 1.0;
   for (int attempt = 0; attempt < 1000; ++attempt) {
     Topology t;
     t.n = n;
@@ -157,6 +160,12 @@ Topology random_geometric(std::size_t n, double radius, Rng& rng,
                           std::vector<double>* positions) {
   ABE_CHECK_GE(n, 1u);
   ABE_CHECK_GT(radius, 0.0);
+  // Clamp into (0, √2]: no two points in the unit square are further apart,
+  // so larger requests are equivalent and the growth loop below reaches
+  // full coverage (guaranteed connectivity, any n) within a few attempts
+  // from any starting radius.
+  const double kSqrt2 = 1.4142135623730951;
+  radius = std::min(radius, kSqrt2);
   std::vector<double> xs(n), ys(n);
   for (std::size_t i = 0; i < n; ++i) {
     xs[i] = rng.uniform01();

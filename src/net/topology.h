@@ -50,17 +50,25 @@ Topology torus(std::size_t rows, std::size_t cols);
 // 2^dim nodes; edge per differing bit, both directions.
 Topology hypercube(std::size_t dim);
 
-// Erdős–Rényi G(n, p) on undirected pairs (kept in both directions), resampled
-// until strongly connected; p is clamped up for tiny n to guarantee
-// termination in practice. Deterministic given `rng`.
+// Erdős–Rényi G(n, p) on undirected pairs (kept in both directions),
+// resampled until strongly connected. Tiny-n clamping: for n <= 2 every
+// possible edge is required for connectivity, so p is clamped to 1 before
+// sampling; for larger n each failed attempt escalates p (×1.25 + 0.01) so
+// sparse requests still terminate. The returned graph is always strongly
+// connected (asserted) and deterministic given `rng` — our own xoshiro Rng,
+// so identical across platforms and standard libraries.
 Topology random_connected(std::size_t n, double p, Rng& rng);
 
 // Random geometric graph: n nodes at uniform positions in the unit square,
 // connected (both directions) when within `radius` — the standard model of
 // the ad-hoc/sensor networks the paper motivates ABE with. The radius is
-// grown until the graph is connected, so the returned topology is always
-// usable. Node positions are returned via `positions` when non-null
-// (x0,y0,x1,y1,… layout).
+// grown (×1.2 per attempt, from a starting value clamped into (0, √2]) until
+// the graph is connected, so the returned topology is always strongly
+// connected (asserted) — i.e. the *effective* radio range may exceed the
+// request; √2 covers the whole unit square, where connectivity is immediate
+// for every n (including the edgeless n = 1). Deterministic given `rng`
+// across platforms. Node positions are returned via `positions` when
+// non-null (x0,y0,x1,y1,… layout).
 Topology random_geometric(std::size_t n, double radius, Rng& rng,
                           std::vector<double>* positions = nullptr);
 

@@ -93,14 +93,22 @@ ThreadNetwork::ThreadNetwork(ThreadNetConfig config)
       in_index_of_edge_[in_channels_[v][k]] = k;
     }
   }
+  ABE_CHECK(config_.drift != DriftModel::kPiecewiseRandom)
+      << "thread runtime realises clocks as scaled wall time; only kNone "
+         "and kFixedRandomRate are possible";
+
   slots_ = std::vector<Slot>(n);
   for (std::size_t i = 0; i < n; ++i) {
     slots_[i].mailbox = std::make_unique<Mailbox>();
     slots_[i].context = std::make_unique<ThreadContext>(this, i);
     slots_[i].rng = root_rng_.substream("thread-node", i);
-    Rng clock_rng = root_rng_.substream("thread-clock", i);
-    slots_[i].clock_rate = clock_rng.uniform(config_.clock_bounds.s_low,
-                                             config_.clock_bounds.s_high);
+    if (config_.drift == DriftModel::kFixedRandomRate) {
+      Rng clock_rng = root_rng_.substream("thread-clock", i);
+      slots_[i].clock_rate = clock_rng.uniform(config_.clock_bounds.s_low,
+                                               config_.clock_bounds.s_high);
+    } else {
+      slots_[i].clock_rate = 1.0;
+    }
   }
 }
 
@@ -229,11 +237,13 @@ bool ThreadNetwork::terminated(std::size_t i) const {
 
 ThreadedElectionResult run_threaded_election(
     std::size_t n, double a0, double mean_delay, std::uint64_t seed,
-    double time_scale_us, std::chrono::milliseconds timeout) {
+    double time_scale_us, std::chrono::milliseconds timeout,
+    ClockBounds clock_bounds) {
   ThreadNetConfig config;
   config.topology = unidirectional_ring(n);
   config.delay = exponential_delay(mean_delay);
   config.time_scale_us = time_scale_us;
+  config.clock_bounds = clock_bounds;
   config.enable_ticks = true;
   config.seed = seed;
 

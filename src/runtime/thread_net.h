@@ -30,7 +30,13 @@ struct ThreadNetConfig {
   Topology topology;
   DelayModelPtr delay;               // per-channel delay (sim units)
   double time_scale_us = 1000.0;     // wall microseconds per sim unit
+  // Clock-drift band [s_low, s_high] (Definition 1(2)), mirroring the
+  // simulator's NetworkConfig. kNone pins every rate to exactly 1;
+  // kFixedRandomRate draws one rate per node within the bounds (the
+  // default, and the only wandering model a wall-clock-scaled runtime can
+  // realise — kPiecewiseRandom is rejected).
   ClockBounds clock_bounds{};
+  DriftModel drift = DriftModel::kFixedRandomRate;
   bool enable_ticks = false;
   double tick_local_period = 1.0;    // in sim units, on the local clock
   std::uint64_t seed = 1;
@@ -110,11 +116,12 @@ struct ThreadedElectionResult {
   bool safety_ok = false;
 };
 
-ThreadedElectionResult run_threaded_election(std::size_t n, double a0,
-                                             double mean_delay,
-                                             std::uint64_t seed,
-                                             double time_scale_us = 200.0,
-                                             std::chrono::milliseconds
-                                                 timeout = std::chrono::milliseconds(30000));
+// `clock_bounds` realises the drift band on real threads (one fixed rate
+// per node drawn within the bounds); the default is ideal clocks.
+ThreadedElectionResult run_threaded_election(
+    std::size_t n, double a0, double mean_delay, std::uint64_t seed,
+    double time_scale_us = 200.0,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(30000),
+    ClockBounds clock_bounds = {});
 
 }  // namespace abe

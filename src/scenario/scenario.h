@@ -1,0 +1,195 @@
+// Declarative scenario engine: named, sweepable experiment specifications.
+//
+// A ScenarioSpec pins down one cell of the experiment space the paper's
+// claims live in — topology family × size × delay model × clock-drift band
+// × failure-injection profile × algorithm — as plain data. Cells come from
+// three places:
+//   * the built-in registry (scenario_registry()): named, documented
+//     deployments, including the migrated adhoc_field / sensor_network
+//     examples, each runnable as a tier-1 test cell so it can never rot;
+//   * a ScenarioMatrix (sweep_registry()): axes that expand() multiplies
+//     into the compatible subset of cells — the sweep driver in sweep.h
+//     runs them with seed-ordered, bit-identical aggregation;
+//   * ad-hoc construction in tests and benches.
+//
+// Algorithms: the paper's probabilistic ring election (core/election),
+// the polling general-graph election the impossibility theorem forces
+// (algo/polling_election), and push gossip (algo/gossip) for broadcast
+// workloads. Compatibility is structural: the ring election needs the
+// unidirectional ring, the polling election needs reverse channels for its
+// tree echo, gossip runs anywhere strongly connected; expand() filters
+// silently-impossible combinations out so a matrix can name broad axes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clock/local_clock.h"
+#include "net/delay.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace abe {
+
+// ---------------------------------------------------------------------------
+// Topology axis
+
+enum class TopologyFamily : std::uint8_t {
+  kRingUni,     // the paper's setting
+  kRingBi,
+  kLine,
+  kStar,
+  kComplete,
+  kGrid,        // near-square rows×cols
+  kTorus,       // near-square rows×cols with wraparound
+  kHypercube,   // n must be a power of two
+  kGnp,         // Erdős–Rényi, param = edge probability
+  kGeometric,   // random geometric graph, param = radius
+};
+
+const char* topology_family_name(TopologyFamily family);
+// Parses the names printed by topology_family_name; aborts on unknown.
+TopologyFamily topology_family_from_name(const std::string& name);
+
+struct TopologySpec {
+  TopologyFamily family = TopologyFamily::kRingUni;
+  std::size_t n = 8;
+  // gnp: edge probability; geometric: radius; ignored elsewhere.
+  double param = 0.0;
+
+  // Materialises the topology. `rng` feeds the random families only, so
+  // fixed families are deterministic regardless of it; random families are
+  // deterministic given the rng state. Grid/torus sizes must factor into
+  // rows*cols (near-square, see .cpp); hypercube sizes must be powers of 2.
+  // Aborts on size constraint violations — gate user-supplied sizes with
+  // problem() first.
+  Topology build(Rng& rng) const;
+
+  // Empty when build() would succeed; otherwise a human-readable reason
+  // (non-power-of-two hypercube, prime torus size, …). The validation
+  // boundary for user input (CLI overrides), where aborting is rude.
+  std::string problem() const;
+
+  std::string describe() const;  // "torus-64", "rgg-36(r=0.25)", …
+};
+
+// ---------------------------------------------------------------------------
+// Failure-injection axis
+
+struct FailureProfile {
+  enum class Kind : std::uint8_t {
+    kNone,     // the paper's reliable-channel regime
+    kLoss,     // each send attempt silently dropped with `loss_probability`
+    kDegrade,  // each message, with `degrade_probability`, takes
+               // `degrade_factor` × the sampled delay (congestion events)
+  };
+  Kind kind = Kind::kNone;
+  double loss_probability = 0.0;
+  double degrade_probability = 0.0;
+  double degrade_factor = 1.0;
+
+  static FailureProfile none() { return {}; }
+  static FailureProfile loss(double p);
+  static FailureProfile degrade(double probability, double factor);
+
+  // Channel-level loss handed to the runtime (kLoss only).
+  double channel_loss() const {
+    return kind == Kind::kLoss ? loss_probability : 0.0;
+  }
+  // Wraps the delay model for kDegrade; other kinds return `base`. The
+  // wrapper inflates mean_delay() accordingly — the δ the algorithm is
+  // allowed to know degrades along with the network.
+  DelayModelPtr apply(DelayModelPtr base) const;
+
+  std::string describe() const;  // "none", "loss-0.01", "degrade-0.1x20"
+};
+
+// ---------------------------------------------------------------------------
+// Algorithm axis
+
+enum class ScenarioAlgorithm : std::uint8_t {
+  kRingElection,     // paper Section 3 (core/election via core/harness)
+  kPollingElection,  // the polling baseline (algo/polling_election)
+  kGossip,           // push gossip broadcast (algo/gossip)
+  kBetaSync,         // β-synchronized max consensus (syncr/beta): runs
+                     // diameter-many rounds; safe when every node outputs
+                     // the global maximum
+};
+
+const char* scenario_algorithm_name(ScenarioAlgorithm algorithm);
+ScenarioAlgorithm scenario_algorithm_from_name(const std::string& name);
+
+// Structural compatibility (see file comment).
+bool scenario_algorithm_supports(ScenarioAlgorithm algorithm,
+                                 TopologyFamily family);
+
+// ---------------------------------------------------------------------------
+// The spec
+
+struct ScenarioSpec {
+  std::string name;         // registry key; empty for matrix cells
+  std::string description;  // one-liner for `abe_scenarios list`
+
+  TopologySpec topology;
+  ScenarioAlgorithm algorithm = ScenarioAlgorithm::kRingElection;
+  std::string delay_name = "exponential";
+  double mean_delay = 1.0;
+  ClockBounds clock_bounds{};
+  DriftModel drift = DriftModel::kNone;
+  ProcessingModel processing = ProcessingModel::zero();
+  FailureProfile failure{};
+
+  // Ring election only: base activation parameter; 0 means the calibrated
+  // linear regime A0 = c/n² (core/election.h).
+  double a0 = 0.0;
+  std::uint64_t default_trials = 8;
+  SimTime deadline = 1e7;
+  SimTime settle_time = 10.0;
+
+  // Stable identifier of this cell within a sweep:
+  // "<algorithm>/<topology>/<delay>/<drift>/<failure>".
+  std::string cell_id() const;
+  // Multi-line human rendering for `abe_scenarios describe`.
+  std::string describe() const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// All built-in named scenarios, in registration order.
+const std::vector<ScenarioSpec>& scenario_registry();
+// nullptr when unknown.
+const ScenarioSpec* find_scenario(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Matrix
+
+struct DriftBand {
+  ClockBounds bounds{};
+  DriftModel model = DriftModel::kNone;
+  std::string describe() const;  // "ideal", "fixed[0.80,1.25]", …
+};
+
+struct ScenarioMatrix {
+  std::string name;
+  std::string description;
+  // Template for non-axis fields (trials, deadline, a0, …).
+  ScenarioSpec base;
+  std::vector<ScenarioAlgorithm> algorithms;
+  std::vector<TopologySpec> topologies;
+  std::vector<std::pair<std::string, double>> delays;  // (name, mean)
+  std::vector<DriftBand> drifts;
+  std::vector<FailureProfile> failures;
+
+  // The cross product, minus structurally impossible (algorithm, topology)
+  // pairs. Every returned spec carries a unique cell_id().
+  std::vector<ScenarioSpec> expand() const;
+};
+
+// All built-in named sweeps, in registration order.
+const std::vector<ScenarioMatrix>& sweep_registry();
+const ScenarioMatrix* find_sweep(const std::string& name);
+
+}  // namespace abe

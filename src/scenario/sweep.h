@@ -1,0 +1,96 @@
+// Sweep driver: runs ScenarioSpec cells through the seed-chunked trial pool
+// and renders the outcomes as tables and structured JSON.
+//
+// Reproducibility contract (same as core/harness.h): trials are seeded
+// seed_base, seed_base+1, …; aggregation is chunked over fixed seed ranges
+// and merged in seed order, so every aggregate — and therefore every number
+// in the emitted JSON — is bit-identical for every thread count. Random
+// topology families (gnp, rgg) re-draw the graph per trial from a substream
+// of the trial seed, so graph randomness is part of the Monte-Carlo estimate
+// and equally reproducible.
+//
+// The JSON document (schema "abe-scenario-sweep-v1") carries the same
+// provenance metadata as the BENCH_*.json perf trajectory — git sha,
+// compiler, build type, thread count — so sweep results are attributable to
+// a commit and toolchain; bench/validate_scenarios.py checks the structure
+// in CI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "stats/summary.h"
+
+namespace abe {
+
+// Outcome of one trial of one cell, algorithm-agnostic.
+struct ScenarioTrialResult {
+  bool completed = false;   // elected / fully informed before the deadline
+  bool safety_ok = false;   // algorithm's safety postconditions
+  std::string safety_detail;
+  SimTime time = 0.0;       // completion time (election / spread)
+  std::uint64_t messages = 0;
+};
+
+// Runs a single trial of `spec` with the given seed. Aborts only on
+// internal invariant violations; model-level outcomes are reported in the
+// result. Random topologies are drawn from a substream of `seed`.
+ScenarioTrialResult run_scenario_trial(const ScenarioSpec& spec,
+                                       std::uint64_t seed);
+
+struct ScenarioAggregate {
+  Summary messages;  // per-trial messages over completed trials
+  Summary time;      // per-trial completion time
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;           // missed the deadline
+  std::uint64_t safety_violations = 0;  // completed but safety_ok == false
+
+  void merge(const ScenarioAggregate& other);
+};
+
+// `trials` independent trials with seeds seed_base…; bit-identical for
+// every thread count (core/trial_pool.h semantics, including the
+// ABE_TRIAL_THREADS resolution of threads == 0).
+ScenarioAggregate run_scenario_trials(const ScenarioSpec& spec,
+                                      std::uint64_t trials,
+                                      std::uint64_t seed_base = 1,
+                                      unsigned threads = 0);
+
+// One sweep cell: the spec plus its aggregate.
+struct SweepCellOutcome {
+  ScenarioSpec spec;
+  ScenarioAggregate aggregate;
+};
+
+// Provenance block mirrored from the BENCH_*.json context (bench_util.h).
+struct SweepRunMetadata {
+  std::string git_sha = "unknown";
+  std::string compiler = "unknown";
+  std::string build_type = "unknown";
+  unsigned threads = 1;         // resolved trial-pool width
+  std::uint64_t trials = 0;     // trials per cell (0 = per-spec default)
+  std::uint64_t seed_base = 1;
+};
+
+// Runs every cell (trials == 0 uses each spec's default_trials). The
+// optional progress callback fires after each finished cell with
+// (index, total, outcome).
+using SweepProgressFn =
+    std::function<void(std::size_t, std::size_t, const SweepCellOutcome&)>;
+std::vector<SweepCellOutcome> run_sweep(
+    const std::vector<ScenarioSpec>& cells, std::uint64_t trials,
+    std::uint64_t seed_base = 1, unsigned threads = 0,
+    const SweepProgressFn& progress = nullptr);
+
+// Structured per-cell JSON, schema "abe-scenario-sweep-v1".
+void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
+                      const std::vector<SweepCellOutcome>& outcomes);
+
+// Aligned ASCII table of the outcomes (one row per cell).
+std::string render_sweep_table(const std::vector<SweepCellOutcome>& outcomes);
+
+}  // namespace abe

@@ -73,6 +73,19 @@ std::string Summary::to_string() const {
   return os.str();
 }
 
+std::string Summary::to_json() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  // min()/max() are NaN when empty, which JSON cannot carry — an empty
+  // summary (count 0 says it all) serializes as zeros.
+  const double lo = n_ == 0 ? 0.0 : min();
+  const double hi = n_ == 0 ? 0.0 : max();
+  os << "{\"count\": " << n_ << ", \"mean\": " << mean()
+     << ", \"stddev\": " << stddev() << ", \"min\": " << lo
+     << ", \"max\": " << hi << ", \"ci95\": " << ci95_half_width() << "}";
+  return os.str();
+}
+
 double t_critical_975(std::uint64_t dof) {
   // Standard two-sided 95% table; beyond 30 dof the normal value is within
   // ~2% and we interpolate through a few anchors down to 1.96.

@@ -185,7 +185,8 @@ BetaRunResult run_beta_synchronizer(const Topology& topology,
                                     const SyncAppFactory& factory,
                                     std::uint64_t rounds,
                                     const DelayModelPtr& delay,
-                                    std::uint64_t seed, SimTime deadline) {
+                                    std::uint64_t seed, SimTime deadline,
+                                    const BetaEnvironment& environment) {
   const SpanningTree tree = bfs_spanning_tree(topology, 0);
   const auto wiring = build_beta_wiring(topology, tree);
 
@@ -193,6 +194,10 @@ BetaRunResult run_beta_synchronizer(const Topology& topology,
   config.topology = topology;
   config.delay = delay;
   config.ordering = ChannelOrdering::kArbitrary;
+  config.clock_bounds = environment.clock_bounds;
+  config.drift = environment.drift;
+  config.processing = environment.processing;
+  config.loss_probability = environment.loss_probability;
   config.seed = seed;
 
   Network net(std::move(config));

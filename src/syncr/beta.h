@@ -105,12 +105,25 @@ struct BetaRunResult {
   bool completed = false;
 };
 
+// Environment knobs beyond the delay model, so scenario sweeps can run the
+// synchronizer under the full ABE matrix (drift bands, processing time,
+// failure injection). β is message-driven, so drift only matters through
+// processing-time scaling; loss stalls the ack/convergecast machinery —
+// the run then fails by deadline, which is the measurement.
+struct BetaEnvironment {
+  ClockBounds clock_bounds{};
+  DriftModel drift = DriftModel::kNone;
+  ProcessingModel processing = ProcessingModel::zero();
+  double loss_probability = 0.0;
+};
+
 // Runs the app under the β-synchronizer (tree rooted at node 0).
 BetaRunResult run_beta_synchronizer(const Topology& topology,
                                     const SyncAppFactory& factory,
                                     std::uint64_t rounds,
                                     const DelayModelPtr& delay,
                                     std::uint64_t seed = 1,
-                                    SimTime deadline = 1e9);
+                                    SimTime deadline = 1e9,
+                                    const BetaEnvironment& environment = {});
 
 }  // namespace abe

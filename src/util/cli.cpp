@@ -34,12 +34,14 @@ CliFlags::CliFlags(int argc, char** argv) {
 
 std::string CliFlags::get_string(const std::string& name,
                                  const std::string& def) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   return it == values_.end() ? def : it->second;
 }
 
 std::int64_t CliFlags::get_int(const std::string& name,
                                std::int64_t def) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   ABE_CHECK(!it->second.empty()) << "flag --" << name << " needs a value";
@@ -47,6 +49,7 @@ std::int64_t CliFlags::get_int(const std::string& name,
 }
 
 double CliFlags::get_double(const std::string& name, double def) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   ABE_CHECK(!it->second.empty()) << "flag --" << name << " needs a value";
@@ -54,6 +57,7 @@ double CliFlags::get_double(const std::string& name, double def) const {
 }
 
 bool CliFlags::get_bool(const std::string& name, bool def) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   const std::string& v = it->second;
@@ -65,7 +69,16 @@ bool CliFlags::get_bool(const std::string& name, bool def) const {
 }
 
 bool CliFlags::has(const std::string& name) const {
+  queried_.insert(name);
   return values_.count(name) > 0;
+}
+
+std::vector<std::string> CliFlags::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (queried_.count(name) == 0) unknown.push_back(name);
+  }
+  return unknown;
 }
 
 }  // namespace abe

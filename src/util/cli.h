@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,12 @@ class CliFlags {
 
   bool has(const std::string& name) const;
 
+  // Flags that were passed but never queried through the getters above —
+  // almost always typos. Call after all known flags have been read (the
+  // getters record which names the program recognises), e.g.:
+  //   for (const auto& f : flags.unknown_flags()) warn(f);
+  std::vector<std::string> unknown_flags() const;
+
   // Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -37,6 +44,8 @@ class CliFlags {
   std::string program_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  // Names the program asked about; mutable so the const getters can record.
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace abe

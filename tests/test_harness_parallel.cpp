@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "core/harness.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
 
 namespace abe {
 namespace {
@@ -86,6 +88,28 @@ TEST(HarnessParallel, EnvironmentKnobSelectsThreadsWithoutChangingResults) {
   const auto serial = run_election_trials(small_experiment(), 13, 900, 0);
   expect_identical(via_env, serial);
   expect_identical(via_all, serial);
+}
+
+// The scenario sweep drives its cells through the same seed-chunked pool,
+// so a full cell aggregate — including a random per-trial topology — must
+// be bit-identical for every thread count too (ISSUE 3 acceptance).
+TEST(HarnessParallel, ScenarioCellBitIdenticalForEveryThreadCount) {
+  ScenarioSpec cell;
+  cell.algorithm = ScenarioAlgorithm::kPollingElection;
+  cell.topology = TopologySpec{TopologyFamily::kGeometric, 12, 0.0};
+  // 21 trials: two full chunks of 8 plus a remainder of 5.
+  const ScenarioAggregate serial = run_scenario_trials(cell, 21, 400, 1);
+  EXPECT_EQ(serial.trials, 21u);
+  EXPECT_EQ(serial.safety_violations, 0u);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    const ScenarioAggregate parallel =
+        run_scenario_trials(cell, 21, 400, threads);
+    EXPECT_EQ(serial.trials, parallel.trials);
+    EXPECT_EQ(serial.failures, parallel.failures);
+    EXPECT_EQ(serial.safety_violations, parallel.safety_violations);
+    EXPECT_TRUE(serial.messages == parallel.messages);
+    EXPECT_TRUE(serial.time == parallel.time);
+  }
 }
 
 TEST(HarnessParallel, MergeCombinesCountersAndSummaries) {

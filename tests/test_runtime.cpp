@@ -6,6 +6,7 @@
 #include <chrono>
 #include <thread>
 
+#include "core/harness.h"
 #include "runtime/mailbox.h"
 #include "runtime/thread_net.h"
 
@@ -132,6 +133,47 @@ TEST(ThreadNet, LargerRingStillElects) {
       run_threaded_election(16, 0.3, 0.5, 5, /*time_scale_us=*/100.0);
   ASSERT_TRUE(result.elected);
   EXPECT_TRUE(result.safety_ok);
+}
+
+TEST(ThreadNet, PiecewiseDriftRejected) {
+  ThreadNetConfig config;
+  config.topology = unidirectional_ring(3);
+  config.drift = DriftModel::kPiecewiseRandom;
+  EXPECT_DEATH(ThreadNetwork net(std::move(config)), "thread runtime");
+}
+
+// Simulator-vs-thread parity smoke (ROADMAP "thread runtime parity"): the
+// same election under the same drift band must reach the same qualitative
+// outcome on both runtimes — one leader, n−1 passive, plausible message
+// count. Wall-clock scheduling can't reproduce the simulator trial
+// bit-for-bit, so parity here means the model-level postconditions, not the
+// trace.
+TEST(ThreadNet, DriftBandParityWithSimulatorOnSmallRing) {
+  constexpr std::size_t kN = 6;
+  constexpr double kA0 = 0.4;
+  const ClockBounds band{0.8, 1.25};
+
+  ElectionExperiment sim;
+  sim.n = kN;
+  sim.election.a0 = kA0;
+  sim.clock_bounds = band;
+  sim.drift = DriftModel::kFixedRandomRate;
+  sim.seed = 11;
+  sim.settle_time = 5.0;
+  const ElectionRunResult sim_result = run_election(sim);
+  ASSERT_TRUE(sim_result.elected);
+  EXPECT_TRUE(sim_result.safety_ok) << sim_result.safety_detail;
+
+  const ThreadedElectionResult threaded = run_threaded_election(
+      kN, kA0, /*mean_delay=*/1.0, /*seed=*/11, /*time_scale_us=*/150.0,
+      std::chrono::milliseconds(30000), band);
+  ASSERT_TRUE(threaded.elected);
+  EXPECT_TRUE(threaded.safety_ok);
+
+  // Both runtimes drive the same algorithm: a ring election needs at least
+  // one full circulation on either substrate.
+  EXPECT_GE(sim_result.messages, kN);
+  EXPECT_GE(threaded.messages, kN);
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+// Scenario engine tests: the polling general-graph election, the registry
+// (every registered scenario runs one trial cell here, so none can rot
+// silently), matrix expansion, sweep determinism, and the JSON emitter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "algo/polling_election.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
+
+namespace abe {
+namespace {
+
+// --- polling election -----------------------------------------------------
+
+PollingExperiment polling_on(Topology topology, std::uint64_t seed = 1) {
+  PollingExperiment e;
+  e.topology = std::move(topology);
+  e.seed = seed;
+  return e;
+}
+
+void expect_safe_election(const PollingRunResult& r, std::size_t n) {
+  ASSERT_TRUE(r.elected);
+  EXPECT_TRUE(r.safety_ok) << r.safety_detail;
+  EXPECT_EQ(r.woken, n) << "polling must wake every node explicitly";
+  EXPECT_EQ(r.max_leaders_ever, 1u);
+  EXPECT_GE(r.rounds, 1u);
+}
+
+TEST(PollingElection, ElectsOnTorus) {
+  const auto r = run_polling_election(polling_on(torus(4, 4)));
+  expect_safe_election(r, 16);
+  // One tie-free round: WAKE + ECHO + RESULT over n−1 tree edges each.
+  EXPECT_LE(r.messages_total, 3u * 15u);
+}
+
+TEST(PollingElection, ElectsOnHypercubeAndRgg) {
+  expect_safe_election(run_polling_election(polling_on(hypercube(5))), 32);
+  Rng rng(9);
+  const Topology field = random_geometric(24, 0.3, rng);
+  expect_safe_election(run_polling_election(polling_on(field)), 24);
+}
+
+TEST(PollingElection, ElectsOnBidirectionalRingUnderHeavyTail) {
+  PollingExperiment e = polling_on(bidirectional_ring(12));
+  e.delay_name = "lomax";
+  expect_safe_election(run_polling_election(e), 12);
+}
+
+TEST(PollingElection, SingleNodeIsLeaderImmediately) {
+  const auto r = run_polling_election(polling_on(bidirectional_ring(1)));
+  expect_safe_election(r, 1);
+  EXPECT_EQ(r.messages_total, 0u);
+}
+
+TEST(PollingElection, TiedIdsForceExtraRoundsButOneLeader) {
+  // 1-bit ids on 8 nodes: round one ties with probability 1 − 9/2⁷ ≈ 0.93,
+  // so extinction has to iterate. Safety must hold regardless.
+  PollingExperiment e = polling_on(torus(2, 4), /*seed=*/3);
+  e.id_bits = 1;
+  const auto r = run_polling_election(e);
+  expect_safe_election(r, 8);
+  EXPECT_GE(r.rounds, 2u) << "1-bit ids on 8 nodes should tie at least once";
+}
+
+TEST(PollingElection, LossStallsAsFailureNeverAsSafetyViolation) {
+  // Heavy loss drops WAKE/ECHO/RESULT messages: many trials cannot finish
+  // the poll. That is the injected failure being measured — it must be
+  // counted as a failed trial; "safety violation" is reserved for a
+  // genuine two-leader bug, which loss cannot produce.
+  // 5% per-message loss over the ~24 tree messages of a tie-free run:
+  // ≈29% of trials complete untouched, the rest stall somewhere.
+  PollingExperiment e = polling_on(torus(3, 3));
+  e.loss_probability = 0.05;
+  e.deadline = 2e4;
+  const PollingAggregate agg = run_polling_trials(e, 40, 100);
+  EXPECT_EQ(agg.trials, 40u);
+  EXPECT_EQ(agg.safety_violations, 0u);
+  EXPECT_GT(agg.failures, 0u)
+      << "5% loss over ~24 tree messages should stall some trials";
+  EXPECT_LT(agg.failures, 40u) << "and some trials should still finish";
+}
+
+TEST(PollingElection, WiringRejectsUnidirectionalRing) {
+  EXPECT_DEATH(build_polling_wiring(unidirectional_ring(4)), "");
+}
+
+TEST(PollingElection, TrialsBitIdenticalForEveryThreadCount) {
+  PollingExperiment e = polling_on(torus(3, 3));
+  const PollingAggregate serial = run_polling_trials(e, 19, 100, 1);
+  EXPECT_EQ(serial.trials, 19u);
+  EXPECT_EQ(serial.failures, 0u);
+  EXPECT_EQ(serial.safety_violations, 0u);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const PollingAggregate parallel = run_polling_trials(e, 19, 100, threads);
+    EXPECT_TRUE(serial.messages == parallel.messages);
+    EXPECT_TRUE(serial.time == parallel.time);
+    EXPECT_TRUE(serial.rounds == parallel.rounds);
+  }
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(ScenarioRegistry, NamesAreUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const ScenarioSpec& s : scenario_registry()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+    EXPECT_EQ(find_scenario(s.name), &s);
+    EXPECT_TRUE(
+        scenario_algorithm_supports(s.algorithm, s.topology.family))
+        << s.name << " registers an impossible algorithm/topology pair";
+  }
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+}
+
+// Every registered scenario runs one trial cell under ctest (per-case
+// timeout via tests/CMakeLists.txt). Seed 1 is a checked-in known-good
+// seed: trials are deterministic given the seed, so completion and safety
+// are exact assertions, not flaky statistics — if a registered spec stops
+// electing or violates safety, the failing parameterised case names it.
+class RegistryScenarioTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryScenarioTest, OneTrialCellCompletesSafely) {
+  const ScenarioSpec* spec = find_scenario(GetParam());
+  ASSERT_NE(spec, nullptr);
+  const ScenarioTrialResult trial = run_scenario_trial(*spec, /*seed=*/1);
+  EXPECT_TRUE(trial.completed) << "seed-1 trial missed its deadline";
+  EXPECT_TRUE(trial.safety_ok) << trial.safety_detail;
+  EXPECT_GT(trial.time, 0.0);
+}
+
+std::vector<std::string> registry_names() {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& s : scenario_registry()) names.push_back(s.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistered, RegistryScenarioTest,
+    ::testing::ValuesIn(registry_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// --- matrix expansion -----------------------------------------------------
+
+TEST(ScenarioMatrix, RobustnessSweepCoversAcceptanceAxes) {
+  const ScenarioMatrix* m = find_sweep("robustness");
+  ASSERT_NE(m, nullptr);
+  const std::vector<ScenarioSpec> cells = m->expand();
+
+  std::set<std::string> ids;
+  std::set<TopologyFamily> polling_families;
+  std::set<std::string> ring_delays;
+  for (const ScenarioSpec& cell : cells) {
+    EXPECT_TRUE(ids.insert(cell.cell_id()).second)
+        << "duplicate cell " << cell.cell_id();
+    EXPECT_TRUE(
+        scenario_algorithm_supports(cell.algorithm, cell.topology.family));
+    if (cell.algorithm == ScenarioAlgorithm::kPollingElection) {
+      polling_families.insert(cell.topology.family);
+    } else if (cell.algorithm == ScenarioAlgorithm::kRingElection) {
+      EXPECT_EQ(cell.topology.family, TopologyFamily::kRingUni);
+      ring_delays.insert(cell.delay_name);
+    }
+  }
+  // The acceptance matrix: both algorithms, {ring, torus, hypercube, rgg},
+  // {fixed, exponential, heavy-tail}.
+  EXPECT_TRUE(polling_families.count(TopologyFamily::kRingBi));
+  EXPECT_TRUE(polling_families.count(TopologyFamily::kTorus));
+  EXPECT_TRUE(polling_families.count(TopologyFamily::kHypercube));
+  EXPECT_TRUE(polling_families.count(TopologyFamily::kGeometric));
+  EXPECT_EQ(ring_delays,
+            (std::set<std::string>{"fixed", "exponential", "lomax"}));
+}
+
+TEST(ScenarioMatrix, ExpansionFiltersImpossiblePairsSilently) {
+  ScenarioMatrix m;
+  m.algorithms = {ScenarioAlgorithm::kRingElection};
+  m.topologies = {TopologySpec{TopologyFamily::kTorus, 16, 0.0},
+                  TopologySpec{TopologyFamily::kRingUni, 8, 0.0}};
+  m.delays = {{"exponential", 1.0}};
+  const auto cells = m.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].topology.family, TopologyFamily::kRingUni);
+}
+
+TEST(TopologySpecProblem, FlagsBadSizesWithoutAborting) {
+  EXPECT_EQ((TopologySpec{TopologyFamily::kHypercube, 64, 0.0}).problem(),
+            "");
+  EXPECT_NE((TopologySpec{TopologyFamily::kHypercube, 100, 0.0}).problem(),
+            "");
+  EXPECT_EQ((TopologySpec{TopologyFamily::kTorus, 16, 0.0}).problem(), "");
+  EXPECT_NE((TopologySpec{TopologyFamily::kTorus, 17, 0.0}).problem(), "")
+      << "prime sizes cannot factor into a torus";
+  EXPECT_NE((TopologySpec{TopologyFamily::kGnp, 8, 1.5}).problem(), "");
+  EXPECT_EQ((TopologySpec{TopologyFamily::kRingUni, 1, 0.0}).problem(), "");
+}
+
+TEST(ScenarioNames, RoundTrip) {
+  for (const char* name : {"ring-uni", "torus", "hypercube", "rgg"}) {
+    EXPECT_STREQ(topology_family_name(topology_family_from_name(name)),
+                 name);
+  }
+  for (const char* name : {"abe-ring", "polling", "gossip", "beta-sync"}) {
+    EXPECT_STREQ(
+        scenario_algorithm_name(scenario_algorithm_from_name(name)), name);
+  }
+}
+
+// --- sweep driver & JSON --------------------------------------------------
+
+ScenarioSpec small_polling_cell() {
+  ScenarioSpec spec;
+  spec.algorithm = ScenarioAlgorithm::kPollingElection;
+  spec.topology = TopologySpec{TopologyFamily::kTorus, 9, 0.0};
+  return spec;
+}
+
+TEST(ScenarioSweep, TrialsAreDeterministicPerSeed) {
+  const ScenarioSpec spec = small_polling_cell();
+  const ScenarioAggregate a = run_scenario_trials(spec, 11, 50, 2);
+  const ScenarioAggregate b = run_scenario_trials(spec, 11, 50, 3);
+  EXPECT_EQ(a.trials, 11u);
+  EXPECT_TRUE(a.messages == b.messages);
+  EXPECT_TRUE(a.time == b.time);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.safety_violations, b.safety_violations);
+}
+
+TEST(ScenarioSweep, RandomTopologiesRedrawPerTrialDeterministically) {
+  ScenarioSpec spec = small_polling_cell();
+  spec.topology = TopologySpec{TopologyFamily::kGeometric, 12, 0.0};
+  const ScenarioTrialResult a = run_scenario_trial(spec, 7);
+  const ScenarioTrialResult b = run_scenario_trial(spec, 7);
+  const ScenarioTrialResult c = run_scenario_trial(spec, 8);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.time, b.time);
+  // Different seed, different field (and with overwhelming likelihood a
+  // different trace).
+  EXPECT_TRUE(a.messages != c.messages || a.time != c.time);
+}
+
+TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
+  const auto outcomes = run_sweep({small_polling_cell()}, 3, 1, 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].aggregate.trials, 3u);
+  EXPECT_EQ(outcomes[0].aggregate.safety_violations, 0u);
+
+  SweepRunMetadata meta;
+  meta.git_sha = "cafe123";
+  meta.threads = 4;
+  meta.trials = 3;
+  std::ostringstream os;
+  write_sweep_json(os, meta, outcomes);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\": \"cafe123\""), std::string::npos);
+  EXPECT_NE(json.find("\"trial_threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"cell\": \"polling/torus-9/exponential/ideal/none\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"safety_violations\": 0"), std::string::npos);
+  // Balanced braces: cheap structural sanity (CI runs the real validator,
+  // bench/validate_scenarios.py, on emitted files).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ScenarioSweep, FailureProfilesTransformTheModel) {
+  const DelayModelPtr base = make_delay_model("exponential", 1.0);
+  const FailureProfile degrade = FailureProfile::degrade(0.1, 20.0);
+  const DelayModelPtr wrapped = degrade.apply(base);
+  // The advertised ABE bound must degrade with the network.
+  EXPECT_NEAR(wrapped->mean_delay(), 1.0 + 0.1 * 19.0, 1e-12);
+  EXPECT_EQ(FailureProfile::none().apply(base).get(), base.get());
+  EXPECT_DOUBLE_EQ(FailureProfile::loss(0.01).channel_loss(), 0.01);
+  EXPECT_DOUBLE_EQ(degrade.channel_loss(), 0.0);
+}
+
+}  // namespace
+}  // namespace abe

@@ -73,6 +73,33 @@ TEST(Summary, CiShrinksWithSamples) {
   EXPECT_GT(small.ci95_half_width(), big.ci95_half_width());
 }
 
+TEST(Summary, ToJsonRoundTripPrecisionAndNullCi) {
+  Summary s;
+  s.add(1.0 / 3.0);
+  s.add(2.0 / 3.0);
+  const std::string json = s.to_json();
+  // Round-trip precision: 1/3 must appear with max_digits10 digits, not
+  // the default 6 — byte-stable serialization of bit-identical aggregates.
+  EXPECT_NE(json.find("\"mean\": 0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("0.33333333333333331"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"ci95\": "), std::string::npos);
+
+  // Fewer than two samples: no interval, serialized as 0 (every field
+  // stays a finite JSON number).
+  Summary one;
+  one.add(4.0);
+  EXPECT_NE(one.to_json().find("\"ci95\": 0"), std::string::npos)
+      << one.to_json();
+
+  // Empty summary (an all-failures sweep cell): min/max are NaN in C++,
+  // which JSON cannot represent — the serialization must stay parseable.
+  const Summary empty;
+  EXPECT_EQ(empty.to_json(),
+            "{\"count\": 0, \"mean\": 0, \"stddev\": 0, \"min\": 0, "
+            "\"max\": 0, \"ci95\": 0}");
+}
+
 TEST(Summary, TCriticalValues) {
   EXPECT_NEAR(t_critical_975(1), 12.706, 1e-3);
   EXPECT_NEAR(t_critical_975(10), 2.228, 1e-3);
