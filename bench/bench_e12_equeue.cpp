@@ -1,0 +1,288 @@
+// E12 — Event-queue backends: the cross-backend grid behind the scheduler.
+//
+// The equeue subsystem (src/sim/equeue/) exists because the comparison
+// heap's O(log n) pop was the simulator's binding constraint at n >= 10^4
+// (ROADMAP "Scheduler scalability"). This bench measures the backends
+// themselves — heap, calendar, ladder — through the EventQueue interface
+// under the three canonical mixes, across pending-set sizes:
+//
+//   hold  — steady state: pop the minimum, push a successor (message
+//           traffic in flight). Delay deltas are PRE-SAMPLED so the table
+//           prices the queue, not the RNG.
+//   drain — bulk schedule then run dry (startup bursts, settle windows).
+//   churn — schedule/cancel pairs over a large passive pending set (ARQ
+//           retransmission timers at scale).
+//
+// Acceptance (ISSUE 4): at 65536 pending events, the best O(1) backend
+// must sustain >= 2x the heap's hold events/s — the experiment table
+// prints the ratio directly. The microbenchmarks below track the same
+// grid in the committed baseline.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/equeue/event_queue.h"
+#include "sim/rng.h"
+#include "stats/table.h"
+
+namespace abe {
+namespace {
+
+std::uint64_t bits_of(double t) {
+  std::uint64_t b;
+  std::memcpy(&b, &t, sizeof(b));
+  return b;
+}
+
+constexpr EqueueBackend kBackends[] = {
+    EqueueBackend::kHeap, EqueueBackend::kCalendar, EqueueBackend::kLadder};
+
+// Pre-sampled exponential(1) deltas, reused round-robin.
+const std::vector<double>& delta_table() {
+  static const std::vector<double> kDeltas = [] {
+    std::vector<double> d(1 << 20);
+    Rng rng(42);
+    for (double& x : d) x = rng.exponential(1.0);
+    return d;
+  }();
+  return kDeltas;
+}
+
+// Steady-state hold throughput (events/s) at `pending` live events.
+double hold_events_per_sec(EqueueBackend backend, std::size_t pending,
+                           std::uint64_t events) {
+  const std::vector<double>& deltas = delta_table();
+  std::size_t di = 0;
+  const auto next_delta = [&] {
+    const double d = deltas[di];
+    di = (di + 1) & (deltas.size() - 1);
+    return d;
+  };
+  auto q = make_event_queue(backend);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    q->push(QueueEntry{bits_of(next_delta()), seq,
+                       static_cast<std::uint32_t>(seq)});
+    ++seq;
+  }
+  for (std::uint64_t i = 0; i < events / 4; ++i) {  // warm the structure
+    const QueueEntry e = q->pop_min();
+    q->push(QueueEntry{bits_of(entry_time(e) + next_delta()), seq++, e.slot});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < events; ++i) {
+    const QueueEntry e = q->pop_min();
+    q->push(QueueEntry{bits_of(entry_time(e) + next_delta()), seq++, e.slot});
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(events) / secs;
+}
+
+// Bulk-schedule then run dry; events/s over the push+pop round trip.
+double drain_events_per_sec(EqueueBackend backend, std::size_t batch) {
+  Rng rng(42);
+  auto q = make_event_queue(backend);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t s = 0; s < batch; ++s) {
+    q->push(QueueEntry{bits_of(rng.uniform01() * 1000.0), s,
+                       static_cast<std::uint32_t>(s)});
+  }
+  while (!q->empty()) q->pop_min();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(batch) / secs;
+}
+
+// Schedule/cancel pairs over a passive pending set; pairs/s.
+double churn_pairs_per_sec(EqueueBackend backend, std::size_t pending,
+                           std::uint64_t pairs) {
+  Rng rng(7);
+  auto q = make_event_queue(backend);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    q->push(QueueEntry{bits_of(1000.0 + rng.uniform01()), seq,
+                       static_cast<std::uint32_t>(seq)});
+    ++seq;
+  }
+  const std::uint32_t churn_slot = static_cast<std::uint32_t>(seq);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    q->push(QueueEntry{bits_of(1.0 + rng.uniform01()), seq++, churn_slot});
+    q->erase_slot(churn_slot);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(pairs) / secs;
+}
+
+}  // namespace
+
+namespace benchutil {
+
+void print_experiment_tables() {
+  print_header("E12",
+               "an O(1)-amortized event queue unlocks n >= 10^4 sweeps: the "
+               "calendar/ladder backends must beat the heap's O(log n) pop "
+               "by >= 2x on the hold mix at 65k pending");
+
+  Table table({"mix", "pending", "backend", "events/s", "vs heap"});
+  constexpr std::uint64_t kHoldEvents = 1u << 21;
+  constexpr std::uint64_t kChurnPairs = 1u << 20;
+  double heap_hold_65k = 0.0;
+  double best_hold_65k = 0.0;
+  for (std::size_t pending : {4096u, 16384u, 65536u}) {
+    double heap_rate = 0.0;
+    for (EqueueBackend backend : kBackends) {
+      // Best of 3: the table is an acceptance gate, so shave scheduler
+      // noise the way perf comparisons normally do.
+      double rate = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        rate = std::max(rate, hold_events_per_sec(backend, pending,
+                                                  kHoldEvents));
+      }
+      if (backend == EqueueBackend::kHeap) heap_rate = rate;
+      if (pending == 65536u) {
+        if (backend == EqueueBackend::kHeap) heap_hold_65k = rate;
+        best_hold_65k = std::max(best_hold_65k, rate);
+      }
+      table.add_row({"hold", Table::fmt_int(static_cast<std::int64_t>(
+                                 pending)),
+                     equeue_backend_name(backend), Table::fmt(rate, 0),
+                     Table::fmt(rate / heap_rate, 2)});
+    }
+  }
+  for (std::size_t batch : {16384u, 65536u}) {
+    double heap_rate = 0.0;
+    for (EqueueBackend backend : kBackends) {
+      double rate = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        rate = std::max(rate, drain_events_per_sec(backend, batch));
+      }
+      if (backend == EqueueBackend::kHeap) heap_rate = rate;
+      table.add_row({"drain", Table::fmt_int(static_cast<std::int64_t>(
+                                  batch)),
+                     equeue_backend_name(backend), Table::fmt(rate, 0),
+                     Table::fmt(rate / heap_rate, 2)});
+    }
+  }
+  for (std::size_t pending : {16384u, 65536u}) {
+    double heap_rate = 0.0;
+    for (EqueueBackend backend : kBackends) {
+      double rate = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        rate = std::max(rate, churn_pairs_per_sec(backend, pending,
+                                                  kChurnPairs));
+      }
+      if (backend == EqueueBackend::kHeap) heap_rate = rate;
+      table.add_row({"churn", Table::fmt_int(static_cast<std::int64_t>(
+                                  pending)),
+                     equeue_backend_name(backend), Table::fmt(rate, 0),
+                     Table::fmt(rate / heap_rate, 2)});
+    }
+  }
+  std::printf("%s\n",
+              table.render("E12: event-queue backend grid").c_str());
+  std::printf(
+      "acceptance: best hold events/s at 65536 pending = %.2fx heap "
+      "(>= 2x required)\n\n",
+      best_hold_65k / heap_hold_65k);
+}
+
+}  // namespace benchutil
+
+// --- microbenchmarks (the tracked perf trajectory) -------------------------
+
+namespace {
+
+void backend_args(benchmark::internal::Benchmark* b) {
+  for (int backend = 0; backend < 3; ++backend) {
+    for (int pending : {4096, 16384, 65536}) {
+      b->Args({pending, backend});
+    }
+  }
+  b->ArgNames({"pending", "be"});
+}
+
+EqueueBackend backend_of(std::int64_t index) {
+  return kBackends[static_cast<std::size_t>(index)];
+}
+
+}  // namespace
+
+// Steady-state hold through the raw EventQueue interface.
+static void BM_EqueueHold(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  auto q = make_event_queue(backend_of(state.range(1)));
+  const std::vector<double>& deltas = delta_table();
+  std::size_t di = 0;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    q->push(QueueEntry{bits_of(deltas[di]), seq,
+                       static_cast<std::uint32_t>(seq)});
+    di = (di + 1) & (deltas.size() - 1);
+    ++seq;
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) {
+      const QueueEntry e = q->pop_min();
+      q->push(
+          QueueEntry{bits_of(entry_time(e) + deltas[di]), seq++, e.slot});
+      di = (di + 1) & (deltas.size() - 1);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EqueueHold)->Apply(backend_args);
+
+// Bulk schedule + run dry.
+static void BM_EqueueDrain(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  for (auto _ : state) {
+    auto q = make_event_queue(backend_of(state.range(1)));
+    for (std::uint64_t s = 0; s < batch; ++s) {
+      q->push(QueueEntry{bits_of(rng.uniform01() * 1000.0), s,
+                         static_cast<std::uint32_t>(s)});
+    }
+    while (!q->empty()) {
+      benchmark::DoNotOptimize(q->pop_min());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EqueueDrain)->Apply(backend_args);
+
+// Schedule/cancel churn over a passive pending set. Items = pairs.
+static void BM_EqueueChurn(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  auto q = make_event_queue(backend_of(state.range(1)));
+  Rng rng(7);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    q->push(QueueEntry{bits_of(1000.0 + rng.uniform01()), seq,
+                       static_cast<std::uint32_t>(seq)});
+    ++seq;
+  }
+  const auto churn_slot = static_cast<std::uint32_t>(seq);
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) {
+      q->push(QueueEntry{bits_of(1.0 + rng.uniform01()), seq++, churn_slot});
+      benchmark::DoNotOptimize(q->erase_slot(churn_slot));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EqueueChurn)->Apply(backend_args);
+
+}  // namespace abe
+
+ABE_BENCH_MAIN()

@@ -23,6 +23,7 @@
 
 #include "bench_util.h"
 #include "core/harness.h"
+#include "sim/equeue/backend.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "stats/table.h"
@@ -42,6 +43,32 @@ void prefill_hold(Scheduler& s, Rng& rng, std::size_t pending) {
   for (std::size_t i = 0; i < pending; ++i) {
     s.schedule_in(rng.exponential(1.0), HoldEvent{&s, &rng});
   }
+}
+
+// Second benchmark argument for the scheduler mixes: which event-queue
+// backend the Scheduler is constructed with (sim/equeue). 0 = auto (the
+// production default), 1..3 pin a concrete backend; results are
+// bit-identical, only throughput differs (bench_e12 tracks the raw-queue
+// grid, these rows track the same choice seen through the full scheduler).
+constexpr EqueueBackend kBenchBackends[] = {
+    EqueueBackend::kAuto, EqueueBackend::kHeap, EqueueBackend::kCalendar,
+    EqueueBackend::kLadder};
+
+EqueueBackend bench_backend(std::int64_t index) {
+  return kBenchBackends[static_cast<std::size_t>(index)];
+}
+
+// Small sizes stay on the auto default (their historical rows); the 16k
+// and 65k points fan out across every backend (ISSUE 4 satellite).
+void scheduler_mix_args(benchmark::internal::Benchmark* b,
+                        std::initializer_list<int> small_sizes) {
+  for (int pending : small_sizes) b->Args({pending, 0});
+  for (int pending : {16384, 65536}) {
+    for (int backend = 1; backend <= 3; ++backend) {
+      b->Args({pending, backend});
+    }
+  }
+  b->ArgNames({"pending", "be"});
 }
 
 }  // namespace
@@ -74,6 +101,21 @@ void print_experiment_tables() {
     prefill_hold(s, rng, pending);
     time_events("hold", pending, kHoldEvents,
                 [&] { s.run_steps(kHoldEvents); });
+  }
+  // The same steady-state mix per pinned backend at the scales where the
+  // heap bends (the e12 grid shows the raw-queue view of the same choice).
+  for (EqueueBackend backend :
+       {EqueueBackend::kHeap, EqueueBackend::kCalendar,
+        EqueueBackend::kLadder}) {
+    for (std::size_t pending : {16384u, 65536u}) {
+      Scheduler s(backend);
+      Rng rng(42);
+      prefill_hold(s, rng, pending);
+      const std::string label =
+          std::string("hold/") + equeue_backend_name(backend);
+      time_events(label.c_str(), pending, kHoldEvents,
+                  [&] { s.run_steps(kHoldEvents); });
+    }
   }
 
   {
@@ -130,7 +172,7 @@ void print_experiment_tables() {
 static void BM_SchedulerHold(benchmark::State& state) {
   const auto pending = static_cast<std::size_t>(state.range(0));
   constexpr std::uint64_t kBatch = 4096;
-  Scheduler s;
+  Scheduler s(bench_backend(state.range(1)));
   Rng rng(42);
   prefill_hold(s, rng, pending);
   for (auto _ : state) {
@@ -139,14 +181,16 @@ static void BM_SchedulerHold(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kBatch));
 }
-BENCHMARK(BM_SchedulerHold)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_SchedulerHold)->Apply([](benchmark::internal::Benchmark* b) {
+  scheduler_mix_args(b, {64, 4096});
+});
 
 // Batch schedule then drain: startup bursts and settle windows.
 static void BM_SchedulerDrain(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   Rng rng(42);
   for (auto _ : state) {
-    Scheduler s;
+    Scheduler s(bench_backend(state.range(1)));
     for (std::size_t i = 0; i < batch; ++i) {
       s.schedule_at(rng.uniform01() * 1000.0, [] {});
     }
@@ -155,14 +199,21 @@ static void BM_SchedulerDrain(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_SchedulerDrain)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_SchedulerDrain)->Apply([](benchmark::internal::Benchmark* b) {
+  scheduler_mix_args(b, {4096});
+});
 
-// Schedule/cancel churn: nearly every event is cancelled before it fires.
-// Items = schedule+cancel pairs.
+// Schedule/cancel churn: nearly every event is cancelled before it fires,
+// layered over a passive pending set of size range(0) (0 = the historical
+// bare-churn row). Items = schedule+cancel pairs.
 static void BM_SchedulerChurn(benchmark::State& state) {
   constexpr std::uint64_t kBatch = 4096;
-  Scheduler s;
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  Scheduler s(bench_backend(state.range(1)));
   Rng rng(7);
+  for (std::size_t i = 0; i < pending; ++i) {
+    s.schedule_at(1e9 + static_cast<double>(i), [] {});
+  }
   for (auto _ : state) {
     for (std::uint64_t i = 0; i < kBatch; ++i) {
       const EventId id = s.schedule_in(1.0 + rng.uniform01(), [] {});
@@ -176,7 +227,9 @@ static void BM_SchedulerChurn(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kBatch));
 }
-BENCHMARK(BM_SchedulerChurn);
+BENCHMARK(BM_SchedulerChurn)->Apply([](benchmark::internal::Benchmark* b) {
+  scheduler_mix_args(b, {0});
+});
 
 // ARQ-shaped mix: a delivery event cancels its paired retransmission timer
 // and schedules the next pair. Items = events run (half the schedules).

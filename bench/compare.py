@@ -68,6 +68,7 @@ def metadata_from_context(context):
         "compiler": context.get("abe_compiler", "unknown"),
         "build_type": context.get("abe_build_type", "unknown"),
         "hardware_threads": context.get("abe_hardware_threads", "unknown"),
+        "equeue_default": context.get("abe_equeue_default", "unknown"),
         "recorded": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
     }
 
@@ -95,20 +96,32 @@ def compare(baseline_doc, benches, context, threshold):
 
     rows = []
     regressions = []
+    new_count = 0
+    missing_count = 0
     for key in sorted(set(base) | set(benches)):
         b, c = base.get(key), benches.get(key)
         if b is None:
+            # A bench present in the run but absent from the baseline is a
+            # newly added benchmark, not an error: report it and move on
+            # (record it into the baseline with --update when ready).
             rows.append((key, "-", "-", "new"))
+            new_count += 1
             continue
         if c is None:
+            # Absent from this run (e.g. CI smoke runs a single bench
+            # binary): informational only, never a failure.
             rows.append((key, "-", "-", "missing"))
+            missing_count += 1
             continue
-        if "items_per_second" in b and "items_per_second" in c:
+        if b.get("items_per_second") and "items_per_second" in c:
             ratio = c["items_per_second"] / b["items_per_second"]
             note = f"{ratio:.2f}x items/s"
-        else:
+        elif b.get("real_time_ns") and c.get("real_time_ns"):
             ratio = b["real_time_ns"] / c["real_time_ns"]
             note = f"{ratio:.2f}x speed"
+        else:
+            rows.append((key, "-", "-", "incomparable"))
+            continue
         delta = (ratio - 1.0) * 100.0
         status = "ok"
         if ratio < 1.0 - threshold:
@@ -123,6 +136,11 @@ def compare(baseline_doc, benches, context, threshold):
     for key, note, delta, status in rows:
         print(f"{key.ljust(width)}  {note:>14}  {delta:>8}  {status}")
     print()
+    if new_count:
+        print(f"{new_count} new benchmark(s) not in the baseline "
+              f"(bench/compare.py --update records them)")
+    if missing_count:
+        print(f"{missing_count} baseline benchmark(s) not in this run")
     if regressions:
         print(f"{len(regressions)} benchmark(s) slower than baseline by more "
               f"than {threshold * 100:.0f}%:")

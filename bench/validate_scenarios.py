@@ -3,7 +3,7 @@
 
   python3 bench/validate_scenarios.py sweep.json [more.json ...]
 
-Checks the structure the "abe-scenario-sweep-v1" schema promises — the
+Checks the structure the "abe-scenario-sweep-v2" schema promises — the
 metadata provenance block, per-cell axes, and aggregate summaries — plus the
 one correctness gate a structural check can carry: safety_violations == 0
 (a cell that elected two leaders is a bug, not a perf delta). Exit codes:
@@ -16,12 +16,13 @@ CI runs this in the scenario-smoke job; it is dependency-free on purpose
 import json
 import sys
 
-SCHEMA = "abe-scenario-sweep-v1"
+SCHEMA = "abe-scenario-sweep-v2"
 
 METADATA_FIELDS = {
     "git_sha": str,
     "compiler": str,
     "build_type": str,
+    "equeue": str,
     "trial_threads": int,
     "trials": int,
     "seed_base": int,
@@ -44,6 +45,7 @@ CELL_FIELDS = {
     "delay": dict,
     "clock": dict,
     "failure": str,
+    "equeue": str,
     "trials": int,
     "failures": int,
     "safety_violations": int,

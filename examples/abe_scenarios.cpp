@@ -9,6 +9,9 @@
 //   --trials N    trials per cell (default: the spec's default_trials)
 //   --seed N      seed base (default 1; trials use seed, seed+1, …)
 //   --threads N   trial-pool width (default: ABE_TRIAL_THREADS or serial)
+//   --equeue B    scheduler event-queue backend (auto|heap|calendar|ladder)
+//                 for cells that do not pin one; recorded in the JSON
+//                 provenance block. Results are bit-identical per backend.
 //   --json PATH   also write the structured sweep JSON ("-" for stdout)
 //   --n N         override the topology size (run only)
 //   --delay NAME --mean M   override the delay model (run only)
@@ -25,6 +28,7 @@
 
 #include "core/trial_pool.h"
 #include "scenario/scenario.h"
+#include "sim/equeue/backend.h"
 #include "scenario/sweep.h"
 #include "stats/table.h"
 #include "util/cli.h"
@@ -52,9 +56,9 @@ int usage(const char* program) {
                "       %s describe <scenario>\n"
                "       %s run <scenario> [--trials N] [--seed N] "
                "[--threads N] [--n N] [--delay NAME] [--mean M] "
-               "[--json PATH]\n"
+               "[--equeue B] [--json PATH]\n"
                "       %s sweep [<sweep>] [--trials N] [--seed N] "
-               "[--threads N] [--json PATH]\n",
+               "[--threads N] [--equeue B] [--json PATH]\n",
                program, program, program, program);
   return 2;
 }
@@ -89,11 +93,13 @@ int cmd_describe(const std::string& name) {
 
 abe::SweepRunMetadata make_metadata(std::uint64_t trials,
                                     std::uint64_t seed_base,
-                                    unsigned threads) {
+                                    unsigned threads,
+                                    abe::EqueueBackend equeue) {
   abe::SweepRunMetadata meta;
   meta.git_sha = ABE_BENCH_GIT_SHA;
   meta.compiler = ABE_BENCH_COMPILER;
   meta.build_type = ABE_BENCH_BUILD_TYPE;
+  meta.equeue = abe::equeue_backend_name(equeue);
   meta.threads = abe::resolve_trial_threads(threads);
   meta.trials = trials;
   meta.seed_base = seed_base;
@@ -135,6 +141,24 @@ int run_cells(std::vector<abe::ScenarioSpec> cells,
   const auto seed_base = static_cast<std::uint64_t>(seed_flag);
   const auto threads = static_cast<unsigned>(threads_flag);
 
+  // --equeue applies to every cell that has not pinned a backend itself
+  // (matrix axes like the scale sweep keep their pins so their cell ids
+  // stay truthful). Unknown names are rejected before any trial runs.
+  abe::EqueueBackend equeue = abe::EqueueBackend::kAuto;
+  if (flags.has("equeue")) {
+    const std::string name = flags.get_string("equeue", "auto");
+    if (!abe::equeue_backend_from_name(name, &equeue)) {
+      std::fprintf(stderr,
+                   "unknown equeue backend '%s'; known: auto heap calendar "
+                   "ladder\n",
+                   name.c_str());
+      return 2;
+    }
+    for (abe::ScenarioSpec& cell : cells) {
+      if (cell.equeue == abe::EqueueBackend::kAuto) cell.equeue = equeue;
+    }
+  }
+
   const auto outcomes = abe::run_sweep(
       cells, trials, seed_base, threads,
       [](std::size_t i, std::size_t total,
@@ -153,7 +177,8 @@ int run_cells(std::vector<abe::ScenarioSpec> cells,
   std::fprintf(json_path == "-" ? stderr : stdout, "%s\n",
                abe::render_sweep_table(outcomes).c_str());
   if (!json_path.empty() &&
-      !emit_json(json_path, make_metadata(trials, seed_base, threads),
+      !emit_json(json_path,
+                 make_metadata(trials, seed_base, threads, equeue),
                  outcomes)) {
     return 2;
   }
@@ -232,7 +257,8 @@ int main(int argc, char** argv) {
   // Register the full flag vocabulary up front so a typo'd flag is rejected
   // before any trials run, not silently defaulted.
   for (const char* known :
-       {"trials", "seed", "threads", "json", "n", "delay", "mean"}) {
+       {"trials", "seed", "threads", "json", "n", "delay", "mean",
+        "equeue"}) {
     flags.has(known);
   }
   const auto unknown = flags.unknown_flags();

@@ -48,6 +48,7 @@ GossipResult run_gossip(const GossipExperiment& experiment) {
   config.loss_probability = experiment.loss_probability;
   config.enable_ticks = true;
   config.seed = experiment.seed;
+  config.equeue = experiment.equeue;
 
   Network net(std::move(config));
   net.build_nodes([&](std::size_t i) -> NodePtr {

@@ -166,6 +166,7 @@ PollingRunResult run_polling_election(const PollingExperiment& experiment) {
   config.processing = experiment.processing;
   config.loss_probability = experiment.loss_probability;
   config.seed = experiment.seed;
+  config.equeue = experiment.equeue;
 
   struct Watch {
     std::uint64_t leader_count = 0;

@@ -47,6 +47,7 @@ ElectionRunResult run_election(const ElectionExperiment& experiment) {
   config.enable_ticks = true;
   config.loss_probability = experiment.loss_probability;
   config.seed = experiment.seed;
+  config.equeue = experiment.equeue;
 
   Network net(std::move(config));
   if (experiment.trace) net.trace().enable();

@@ -33,6 +33,8 @@ struct ElectionExperiment {
   // lossy runs report robustness, not the paper's regime.
   double loss_probability = 0.0;
   std::uint64_t seed = 1;
+  // Event-queue backend (pure perf knob; results are bit-identical).
+  EqueueBackend equeue = EqueueBackend::kAuto;
   // Give up (and report failure) past this simulated time.
   SimTime deadline = 1e7;
   // Extra simulated time after the election used to confirm stability

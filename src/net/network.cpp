@@ -85,6 +85,7 @@ class Network::ContextImpl final : public Context {
 
 Network::Network(NetworkConfig config)
     : config_(std::move(config)),
+      scheduler_(config_.equeue),
       root_rng_(config_.seed),
       channel_rng_(root_rng_.substream("channels")) {
   validate_topology(config_.topology);

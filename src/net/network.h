@@ -21,6 +21,7 @@
 #include "net/delay.h"
 #include "net/node.h"
 #include "net/topology.h"
+#include "sim/equeue/backend.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
 
@@ -87,6 +88,10 @@ struct NetworkConfig {
   double loss_probability = 0.0;
   // Root seed; all stochastic behaviour derives from it.
   std::uint64_t seed = 1;
+  // Event-queue backend for the scheduler (sim/equeue/backend.h). A pure
+  // performance knob: every backend pops in the identical order, so seeded
+  // runs are bit-identical across backends. ABE_EQUEUE overrides.
+  EqueueBackend equeue = EqueueBackend::kAuto;
 };
 
 struct NetworkMetrics {

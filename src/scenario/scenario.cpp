@@ -308,6 +308,9 @@ std::string ScenarioSpec::cell_id() const {
   os << scenario_algorithm_name(algorithm) << "/" << topology.describe()
      << "/" << delay_name << "/" << DriftBand{clock_bounds, drift}.describe()
      << "/" << failure.describe();
+  if (equeue != EqueueBackend::kAuto) {
+    os << "/eq-" << equeue_backend_name(equeue);
+  }
   return os.str();
 }
 
@@ -328,7 +331,8 @@ std::string ScenarioSpec::describe() const {
                     : "calibrated c/n^2 (linear regime)")
        << "\n";
   }
-  os << "trials   : " << default_trials << " (default)\n"
+  os << "equeue   : " << equeue_backend_name(equeue) << "\n"
+     << "trials   : " << default_trials << " (default)\n"
      << "deadline : " << deadline << "\n";
   return os.str();
 }
@@ -469,6 +473,8 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
   if (drift_axis.empty()) drift_axis.push_back(DriftBand{});
   std::vector<FailureProfile> failure_axis = failures;
   if (failure_axis.empty()) failure_axis.push_back(FailureProfile::none());
+  std::vector<EqueueBackend> equeue_axis = equeues;
+  if (equeue_axis.empty()) equeue_axis.push_back(base.equeue);
 
   std::vector<ScenarioSpec> cells;
   for (ScenarioAlgorithm algorithm : algorithms) {
@@ -477,17 +483,20 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
       for (const auto& [delay_name, mean] : delays) {
         for (const DriftBand& drift : drift_axis) {
           for (const FailureProfile& failure : failure_axis) {
-            ScenarioSpec cell = base;
-            cell.name.clear();
-            cell.description = description;
-            cell.algorithm = algorithm;
-            cell.topology = topology;
-            cell.delay_name = delay_name;
-            cell.mean_delay = mean;
-            cell.clock_bounds = drift.bounds;
-            cell.drift = drift.model;
-            cell.failure = failure;
-            cells.push_back(std::move(cell));
+            for (EqueueBackend equeue : equeue_axis) {
+              ScenarioSpec cell = base;
+              cell.name.clear();
+              cell.description = description;
+              cell.algorithm = algorithm;
+              cell.topology = topology;
+              cell.delay_name = delay_name;
+              cell.mean_delay = mean;
+              cell.clock_bounds = drift.bounds;
+              cell.drift = drift.model;
+              cell.failure = failure;
+              cell.equeue = equeue;
+              cells.push_back(std::move(cell));
+            }
           }
         }
       }
@@ -557,6 +566,28 @@ std::vector<ScenarioMatrix> build_sweeps() {
     // Same fail-fast deadline as the ring-lossy scenario: lossy cells can
     // deadlock, and a stuck ring trial ticks until the deadline.
     m.base.deadline = 2e4;
+    sweeps.push_back(std::move(m));
+  }
+
+  // Scale sweep (ISSUE 4 acceptance): the n >= 10^4 cells the ROADMAP
+  // deferred until an O(1) event queue existed. Polling election on big
+  // tori, crossed with every equeue backend: the aggregates must be
+  // bit-identical across the backend axis (and across thread counts —
+  // test_scenario asserts both), so the axis measures pure scheduler
+  // throughput on a workload whose pending set actually reaches the
+  // calendar/ladder regime.
+  {
+    ScenarioMatrix m;
+    m.name = "scale";
+    m.description =
+        "polling election at n in {10^4, 3x10^4} x every equeue backend";
+    m.algorithms = {ScenarioAlgorithm::kPollingElection};
+    m.topologies = {TopologySpec{TopologyFamily::kTorus, 10000, 0.0},
+                    TopologySpec{TopologyFamily::kTorus, 30000, 0.0}};
+    m.delays = {{"exponential", 1.0}};
+    m.equeues = {EqueueBackend::kHeap, EqueueBackend::kCalendar,
+                 EqueueBackend::kLadder};
+    m.base.default_trials = 4;
     sweeps.push_back(std::move(m));
   }
 

@@ -29,6 +29,7 @@
 #include "net/delay.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "sim/equeue/backend.h"
 #include "sim/time.h"
 
 namespace abe {
@@ -147,9 +148,16 @@ struct ScenarioSpec {
   std::uint64_t default_trials = 8;
   SimTime deadline = 1e7;
   SimTime settle_time = 10.0;
+  // Scheduler event-queue backend for every trial of this cell. A pure
+  // performance knob: aggregates are bit-identical across backends, which
+  // the scale sweep asserts by running the same cell on all three.
+  EqueueBackend equeue = EqueueBackend::kAuto;
 
   // Stable identifier of this cell within a sweep:
-  // "<algorithm>/<topology>/<delay>/<drift>/<failure>".
+  // "<algorithm>/<topology>/<delay>/<drift>/<failure>", plus a trailing
+  // "/eq-<backend>" when a non-default event queue is pinned (so a
+  // backend-swept matrix keeps unique ids without disturbing existing
+  // auto-backend ids).
   std::string cell_id() const;
   // Multi-line human rendering for `abe_scenarios describe`.
   std::string describe() const;
@@ -182,6 +190,9 @@ struct ScenarioMatrix {
   std::vector<std::pair<std::string, double>> delays;  // (name, mean)
   std::vector<DriftBand> drifts;
   std::vector<FailureProfile> failures;
+  // Event-queue backends; empty means {base.equeue}. The scale sweep uses
+  // this axis to cross-check bit-identical aggregates at n >= 10^4.
+  std::vector<EqueueBackend> equeues;
 
   // The cross product, minus structurally impossible (algorithm, topology)
   // pairs. Every returned spec carries a unique cell_id().

@@ -42,6 +42,7 @@ ScenarioTrialResult run_ring_trial(const ScenarioSpec& spec,
   e.election.a0 =
       spec.a0 > 0.0 ? spec.a0 : linear_regime_a0(spec.topology.n);
   e.seed = seed;
+  e.equeue = spec.equeue;
   e.deadline = spec.deadline;
   e.settle_time = spec.settle_time;
 
@@ -65,6 +66,7 @@ ScenarioTrialResult run_polling_trial(const ScenarioSpec& spec,
   e.processing = spec.processing;
   e.loss_probability = spec.failure.channel_loss();
   e.seed = seed;
+  e.equeue = spec.equeue;
   e.deadline = spec.deadline;
 
   const PollingRunResult run = run_polling_election(e);
@@ -89,6 +91,7 @@ ScenarioTrialResult run_gossip_trial(const ScenarioSpec& spec,
   e.processing = spec.processing;
   e.loss_probability = spec.failure.channel_loss();
   e.seed = seed;
+  e.equeue = spec.equeue;
   e.deadline = spec.deadline;
 
   const GossipResult run = run_gossip(e);
@@ -119,6 +122,7 @@ ScenarioTrialResult run_beta_sync_trial(const ScenarioSpec& spec,
   environment.drift = spec.drift;
   environment.processing = spec.processing;
   environment.loss_probability = spec.failure.channel_loss();
+  environment.equeue = spec.equeue;
   const BetaRunResult run = run_beta_synchronizer(
       topology, max_app_factory(std::move(values)), rounds,
       build_delay(spec), seed, spec.deadline, environment);
@@ -248,12 +252,13 @@ std::string json_escape(const std::string& s) {
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes) {
   os << "{\n"
-     << "  \"schema\": \"abe-scenario-sweep-v1\",\n"
+     << "  \"schema\": \"abe-scenario-sweep-v2\",\n"
      << "  \"metadata\": {\n"
      << "    \"git_sha\": \"" << json_escape(metadata.git_sha) << "\",\n"
      << "    \"compiler\": \"" << json_escape(metadata.compiler) << "\",\n"
      << "    \"build_type\": \"" << json_escape(metadata.build_type)
      << "\",\n"
+     << "    \"equeue\": \"" << json_escape(metadata.equeue) << "\",\n"
      << "    \"trial_threads\": " << metadata.threads << ",\n"
      << "    \"trials\": " << metadata.trials << ",\n"
      << "    \"seed_base\": " << metadata.seed_base << "\n"
@@ -279,6 +284,8 @@ void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
        << drift_model_name(spec.drift) << "\"},\n"
        << "      \"failure\": \"" << json_escape(spec.failure.describe())
        << "\",\n"
+       << "      \"equeue\": \""
+       << equeue_backend_name(spec.equeue) << "\",\n"
        << "      \"trials\": " << agg.trials << ",\n"
        << "      \"failures\": " << agg.failures << ",\n"
        << "      \"safety_violations\": " << agg.safety_violations << ",\n"

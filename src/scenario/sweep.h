@@ -9,11 +9,11 @@
 // of the trial seed, so graph randomness is part of the Monte-Carlo estimate
 // and equally reproducible.
 //
-// The JSON document (schema "abe-scenario-sweep-v1") carries the same
+// The JSON document (schema "abe-scenario-sweep-v2") carries the same
 // provenance metadata as the BENCH_*.json perf trajectory — git sha,
-// compiler, build type, thread count — so sweep results are attributable to
-// a commit and toolchain; bench/validate_scenarios.py checks the structure
-// in CI.
+// compiler, build type, thread count, plus the event-queue backend — so
+// sweep results are attributable to a commit, toolchain and scheduler
+// configuration; bench/validate_scenarios.py checks the structure in CI.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +71,9 @@ struct SweepRunMetadata {
   std::string git_sha = "unknown";
   std::string compiler = "unknown";
   std::string build_type = "unknown";
+  // CLI-level --equeue selection ("auto" unless overridden); each cell
+  // additionally records its own effective backend.
+  std::string equeue = "auto";
   unsigned threads = 1;         // resolved trial-pool width
   std::uint64_t trials = 0;     // trials per cell (0 = per-spec default)
   std::uint64_t seed_base = 1;
@@ -86,7 +89,7 @@ std::vector<SweepCellOutcome> run_sweep(
     std::uint64_t seed_base = 1, unsigned threads = 0,
     const SweepProgressFn& progress = nullptr);
 
-// Structured per-cell JSON, schema "abe-scenario-sweep-v1".
+// Structured per-cell JSON, schema "abe-scenario-sweep-v2".
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes);
 

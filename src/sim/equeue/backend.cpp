@@ -1,0 +1,43 @@
+#include "sim/equeue/backend.h"
+
+#include <cstdlib>
+
+namespace abe {
+
+const char* equeue_backend_name(EqueueBackend backend) {
+  switch (backend) {
+    case EqueueBackend::kAuto:
+      return "auto";
+    case EqueueBackend::kHeap:
+      return "heap";
+    case EqueueBackend::kCalendar:
+      return "calendar";
+    case EqueueBackend::kLadder:
+      return "ladder";
+  }
+  return "?";
+}
+
+bool equeue_backend_from_name(const std::string& name,
+                              EqueueBackend* backend) {
+  for (EqueueBackend b : {EqueueBackend::kAuto, EqueueBackend::kHeap,
+                          EqueueBackend::kCalendar, EqueueBackend::kLadder}) {
+    if (name == equeue_backend_name(b)) {
+      *backend = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+EqueueBackend resolve_equeue_backend(EqueueBackend requested) {
+  if (const char* env = std::getenv("ABE_EQUEUE")) {
+    EqueueBackend from_env;
+    // Invalid values are ignored, mirroring ABE_TRIAL_THREADS: an env
+    // override must never turn a working binary into an aborting one.
+    if (equeue_backend_from_name(env, &from_env)) return from_env;
+  }
+  return requested;
+}
+
+}  // namespace abe

@@ -1,0 +1,198 @@
+#include "sim/equeue/calendar_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace abe {
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {
+  bucket_mask_ = kMinBuckets - 1;
+}
+
+std::uint64_t CalendarQueue::virtual_bucket(SimTime t) const {
+  const double vb = t * inv_width_;
+  if (!(vb < static_cast<double>(kMaxVb))) return kMaxVb;  // inf/NaN too
+  return static_cast<std::uint64_t>(vb);
+}
+
+CalendarQueue::Locator& CalendarQueue::locator_of(std::uint32_t slot) {
+  if (slot >= locators_.size()) locators_.resize(slot + 1);
+  return locators_[slot];
+}
+
+void CalendarQueue::insert_item(const Item& item) {
+  const auto bucket =
+      static_cast<std::uint32_t>(item.vb & bucket_mask_);
+  auto& day = buckets_[bucket];
+  locator_of(item.entry.slot) =
+      Locator{bucket, static_cast<std::uint32_t>(day.size())};
+  day.push_back(item);
+}
+
+void CalendarQueue::push(const QueueEntry& entry) {
+  const Item item{entry, virtual_bucket(entry_time(entry))};
+  insert_item(item);
+  ++size_;
+  if (item.vb < cursor_vb_) cursor_vb_ = item.vb;
+  if (cached_min_valid_ && entry_earlier(entry, cached_min_)) {
+    cached_min_ = entry;
+  }
+  maybe_resize();
+}
+
+void CalendarQueue::remove_at(std::uint32_t bucket, std::uint32_t index) {
+  auto& day = buckets_[bucket];
+  const std::uint32_t slot = day[index].entry.slot;
+  if (index + 1 != day.size()) {
+    day[index] = day.back();
+    locators_[day[index].entry.slot].index = index;
+  }
+  day.pop_back();
+  // The removed slot's locator goes stale rather than being cleared: the
+  // erase_slot precondition (live slots only) makes the write pure cost.
+  --size_;
+  if (cached_min_valid_ && cached_min_.slot == slot) {
+    cached_min_valid_ = false;
+  }
+}
+
+const QueueEntry* CalendarQueue::find_min() {
+  if (cached_min_valid_) return &cached_min_;
+  // Cursor scan: walk days forward from cursor_vb_ for at most one year.
+  // Entries stored in the same physical bucket for a later year are
+  // filtered by their cached virtual day.
+  const std::uint64_t nbuckets = bucket_mask_ + 1;
+  for (std::uint64_t step = 0; step < nbuckets; ++step) {
+    const std::uint64_t vb = cursor_vb_ + step;
+    const auto& day = buckets_[static_cast<std::uint32_t>(vb & bucket_mask_)];
+    const Item* best = nullptr;
+    for (const Item& item : day) {
+      if (item.vb != vb) continue;
+      if (best == nullptr || entry_earlier(item.entry, best->entry)) {
+        best = &item;
+      }
+    }
+    if (best != nullptr) {
+      cursor_vb_ = vb;
+      cached_min_ = best->entry;
+      cached_min_valid_ = true;
+      return &cached_min_;
+    }
+  }
+  // Everything lives beyond the cursor's year (a sparse far-future set):
+  // one full-wall scan finds the minimum and re-anchors the cursor.
+  const Item* best = nullptr;
+  for (const auto& day : buckets_) {
+    for (const Item& item : day) {
+      if (best == nullptr || entry_earlier(item.entry, best->entry)) {
+        best = &item;
+      }
+    }
+  }
+  ABE_CHECK(best != nullptr);
+  cursor_vb_ = best->vb;
+  cached_min_ = best->entry;
+  cached_min_valid_ = true;
+  return &cached_min_;
+}
+
+const QueueEntry* CalendarQueue::peek_min() {
+  if (size_ == 0) return nullptr;
+  return find_min();
+}
+
+QueueEntry CalendarQueue::pop_min() {
+  ABE_CHECK_GT(size_, 0u);
+  const QueueEntry top = *find_min();
+  const Locator loc = locators_[top.slot];
+  remove_at(loc.bucket, loc.index);
+  maybe_resize();
+  return top;
+}
+
+bool CalendarQueue::erase_slot(std::uint32_t slot) {
+  if (slot >= locators_.size() || locators_[slot].bucket == kNullBucket) {
+    return false;  // never-pushed slot; stale locators are NOT detected
+  }
+  const Locator loc = locators_[slot];
+  remove_at(loc.bucket, loc.index);
+  maybe_resize();
+  return true;
+}
+
+void CalendarQueue::drain_into(std::vector<QueueEntry>& out) {
+  for (auto& day : buckets_) {
+    for (const Item& item : day) out.push_back(item.entry);
+    day.clear();
+  }
+  size_ = 0;
+  cached_min_valid_ = false;
+  cursor_vb_ = 0;
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets) {
+  std::vector<Item> items;
+  items.reserve(size_);
+  for (auto& day : buckets_) {
+    for (const Item& item : day) items.push_back(item);
+    day.clear();
+  }
+
+  // Re-tune the width to the mean gap NEAR THE HEAD (see header block):
+  // pops always consume the head, and distributions the simulator actually
+  // produces (exponential remaining delays) cluster there — a global
+  // spread/size estimate would make head days an order of magnitude too
+  // full. Brown samples separations of the next events to pop; we get the
+  // same measurement from the k smallest live times. Infinite times are
+  // excluded but stay representable via the virtual-day clamp.
+  std::vector<double> times;
+  times.reserve(items.size());
+  for (const Item& item : items) {
+    const double t = entry_time(item.entry);
+    if (std::isfinite(t)) times.push_back(t);
+  }
+  double width = 1.0;
+  if (times.size() >= 2) {
+    const std::size_t k = std::min<std::size_t>(times.size() - 1, 64);
+    std::nth_element(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(k),
+                     times.end());
+    const double kth = times[k];
+    const double lo = *std::min_element(
+        times.begin(), times.begin() + static_cast<std::ptrdiff_t>(k));
+    const double head_gap = (kth - lo) / static_cast<double>(k);
+    width = kEventsPerBucket * head_gap;
+    if (!(width > 0.0) || !std::isfinite(width)) {
+      // Degenerate head (simultaneous events): fall back to the global
+      // spread, then to an arbitrary positive width.
+      const double hi = *std::max_element(times.begin(), times.end());
+      width = kEventsPerBucket * (hi - lo) / static_cast<double>(times.size());
+      if (!(width > 0.0) || !std::isfinite(width)) width = 1.0;
+    }
+  }
+  width_ = width;
+  inv_width_ = 1.0 / width;
+
+  buckets_.assign(nbuckets, {});
+  bucket_mask_ = nbuckets - 1;
+  cursor_vb_ = kMaxVb;
+  for (Item& item : items) {
+    item.vb = virtual_bucket(entry_time(item.entry));
+    cursor_vb_ = std::min(cursor_vb_, item.vb);
+    insert_item(item);
+  }
+  if (items.empty()) cursor_vb_ = 0;
+  cached_min_valid_ = false;
+}
+
+void CalendarQueue::maybe_resize() {
+  const std::size_t nbuckets = bucket_mask_ + 1;
+  if (size_ > 8 * nbuckets) {
+    rebuild(nbuckets * 2);
+  } else if (nbuckets > kMinBuckets && size_ < 2 * nbuckets) {
+    rebuild(nbuckets / 2);
+  }
+}
+
+}  // namespace abe

@@ -1,0 +1,25 @@
+#include "sim/equeue/event_queue.h"
+
+#include "sim/equeue/calendar_queue.h"
+#include "sim/equeue/heap_queue.h"
+#include "sim/equeue/ladder_queue.h"
+#include "util/check.h"
+
+namespace abe {
+
+std::unique_ptr<EventQueue> make_event_queue(EqueueBackend backend) {
+  switch (backend) {
+    case EqueueBackend::kHeap:
+      return std::make_unique<HeapQueue>();
+    case EqueueBackend::kCalendar:
+      return std::make_unique<CalendarQueue>();
+    case EqueueBackend::kLadder:
+      return std::make_unique<LadderQueue>();
+    case EqueueBackend::kAuto:
+      break;
+  }
+  ABE_CHECK(false) << "kAuto is a scheduler policy, not a queue backend";
+  return nullptr;
+}
+
+}  // namespace abe

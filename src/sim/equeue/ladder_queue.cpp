@@ -1,0 +1,315 @@
+#include "sim/equeue/ladder_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace abe {
+
+namespace {
+
+// Descending key order: back() of a vector sorted with this is the minimum.
+bool later(const QueueEntry& a, const QueueEntry& b) {
+  return entry_earlier(b, a);
+}
+
+}  // namespace
+
+LadderQueue::Locator& LadderQueue::locator_of(std::uint32_t slot) {
+  if (slot >= locators_.size()) locators_.resize(slot + 1);
+  return locators_[slot];
+}
+
+void LadderQueue::push_top(const QueueEntry& entry) {
+  locator_of(entry.slot) =
+      Locator{Region::kTop, 0, 0, static_cast<std::uint32_t>(top_.size())};
+  top_.push_back(entry);
+}
+
+void LadderQueue::push_rung(std::size_t rung_index, const QueueEntry& entry) {
+  Rung& r = rungs_[rung_index];
+  const double t = entry_time(entry);
+  double fidx = (t - r.start) * r.inv_width;
+  std::size_t idx = (fidx > 0.0 && std::isfinite(fidx))
+                        ? static_cast<std::size_t>(fidx)
+                        : 0;
+  // Float guards: an entry at a bucket edge must never land in the consumed
+  // prefix (< cur) or past the last bucket.
+  idx = std::max(idx, r.cur);
+  idx = std::min(idx, r.buckets.size() - 1);
+  auto& bucket = r.buckets[idx];
+  // One allocation at the target occupancy instead of the doubling chain
+  // (1, 2, 4, …) — buckets are filled to ~kEventsPerRungBucket and then
+  // consumed whole, so the realloc copies would be pure churn.
+  if (bucket.capacity() == 0) {
+    bucket.reserve(kEventsPerRungBucket + kEventsPerRungBucket / 2);
+  }
+  locator_of(entry.slot) =
+      Locator{Region::kRung, static_cast<std::uint8_t>(rung_index),
+              static_cast<std::uint32_t>(idx),
+              static_cast<std::uint32_t>(bucket.size())};
+  bucket.push_back(entry);
+  ++r.count;
+}
+
+void LadderQueue::reindex_bottom(std::size_t from) {
+  for (std::size_t i = from; i < bottom_.size(); ++i) {
+    // locator_of, not locators_[...]: a slot whose FIRST push lands
+    // directly in bottom has no locator entry yet.
+    locator_of(bottom_[i].slot) =
+        Locator{Region::kBottom, 0, 0, static_cast<std::uint32_t>(i)};
+  }
+}
+
+void LadderQueue::push_bottom(const QueueEntry& entry) {
+  const auto pos =
+      std::lower_bound(bottom_.begin(), bottom_.end(), entry, later);
+  const auto at = static_cast<std::size_t>(pos - bottom_.begin());
+  bottom_.insert(pos, entry);
+  reindex_bottom(at);
+}
+
+void LadderQueue::push(const QueueEntry& entry) {
+  ++size_;
+  if (entry.time_bits >= top_floor_bits_) {
+    push_top(entry);
+    return;
+  }
+  const double t = entry_time(entry);
+  for (std::size_t i = rungs_.size(); i-- > 0;) {
+    const Rung& r = rungs_[i];
+    // A fully consumed rung (cur past the last bucket, waiting to be
+    // dropped) must reject membership even for t < limit: the idx clamp
+    // would otherwise file the entry BEHIND the cursor, where consumption
+    // can never reach it again.
+    if (r.cur < r.buckets.size() && t >= r.cur_start() && t < r.limit) {
+      push_rung(i, entry);
+      return;
+    }
+  }
+  // Below every rung's unconsumed range: the event belongs to the region
+  // currently being drained.
+  push_bottom(entry);
+}
+
+void LadderQueue::spawn_rung(std::vector<QueueEntry> entries, double limit) {
+  double lo = kTimeInfinity;
+  double hi = -kTimeInfinity;
+  for (const QueueEntry& e : entries) {
+    const double t = entry_time(e);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  // ~kEventsPerRungBucket events per bucket on average: one event per
+  // bucket (the textbook choice) makes the bucket-header array itself the
+  // cache bottleneck at large n, and the batched bottom sort absorbs
+  // several events per bucket for free.
+  const std::size_t nbuckets = entries.size() / kEventsPerRungBucket + 2;
+  const double width = (hi - lo) / static_cast<double>(nbuckets - 1);
+  Rung r;
+  r.start = lo;
+  r.width = width;
+  r.inv_width = 1.0 / width;
+  r.limit = limit;
+  // nbuckets grid buckets + one OVERFLOW bucket (the idx clamp in
+  // push_rung files anything past the grid there). The grid is sized to
+  // the entries present at spawn time, but the rung's membership range
+  // extends to `limit` — later pushes in [grid end, limit) must land in
+  // this rung (every deeper rung's limit is <= the grid region they
+  // refine), and giving them a dedicated last bucket keeps the invariant
+  // that a bucket's entries never exceed the boundary its spawn-time
+  // child-limit is computed from.
+  r.buckets.resize(nbuckets + 1);
+  rungs_.push_back(std::move(r));
+  const std::size_t rung_index = rungs_.size() - 1;
+  for (const QueueEntry& e : entries) push_rung(rung_index, e);
+}
+
+void LadderQueue::sort_into_bottom(std::vector<QueueEntry> entries) {
+  ABE_CHECK(bottom_.empty());
+  std::sort(entries.begin(), entries.end(), later);
+  bottom_ = std::move(entries);
+  reindex_bottom(0);
+}
+
+void LadderQueue::ensure_bottom() {
+  while (bottom_.empty() && size_ > 0) {
+    if (rungs_.empty()) {
+      // Lower the far-future bag: spread it over rung 0 (or straight into
+      // bottom when it cannot be refined). Later pushes at or beyond the
+      // bag's old maximum go back to the (now empty) top.
+      ABE_CHECK(!top_.empty());
+      std::vector<QueueEntry> entries = std::move(top_);
+      top_.clear();
+      std::uint64_t max_bits = 0;
+      double lo = kTimeInfinity, hi = -kTimeInfinity;
+      for (const QueueEntry& e : entries) {
+        max_bits = std::max(max_bits, e.time_bits);
+        const double t = entry_time(e);
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+      top_floor_bits_ = max_bits;
+      const double width = (hi - lo) / static_cast<double>(entries.size());
+      if (entries.size() > kSortThreshold && width > 0.0 &&
+          std::isfinite(width)) {
+        // Membership below top_floor is already guaranteed by the bits
+        // check in push(), so the lowered rung is unbounded above.
+        spawn_rung(std::move(entries), kTimeInfinity);
+      } else {
+        sort_into_bottom(std::move(entries));
+      }
+      continue;
+    }
+    Rung& r = rungs_.back();
+    if (r.count == 0) {
+      rungs_.pop_back();
+      continue;
+    }
+    while (r.cur < r.buckets.size() && r.buckets[r.cur].empty()) ++r.cur;
+    ABE_CHECK_LT(r.cur, r.buckets.size())
+        << "rung count positive but every bucket consumed";
+    std::vector<QueueEntry> bucket = std::move(r.buckets[r.cur]);
+    r.count -= bucket.size();
+    const bool was_overflow = r.cur + 1 == r.buckets.size();
+    ++r.cur;  // consumed: later pushes into this range belong deeper
+    // A child spawned from a grid bucket may only accept pushes below that
+    // bucket's right edge (== the parent's new cur_start), clipped by the
+    // parent's own bound; one spawned from the overflow bucket covers the
+    // whole remainder of the parent's range, so it inherits the parent's
+    // limit outright — min(cur_start, limit) would cut a hole between the
+    // two out of which pushes would fall into bottom ABOVE pending rung
+    // entries.
+    const double child_limit =
+        was_overflow ? r.limit : std::min(r.cur_start(), r.limit);
+    double lo = kTimeInfinity, hi = -kTimeInfinity;
+    for (const QueueEntry& e : bucket) {
+      const double t = entry_time(e);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    const double width = (hi - lo) / static_cast<double>(bucket.size());
+    if (bucket.size() > kSortThreshold && rungs_.size() < kMaxRungs &&
+        width > 0.0 && std::isfinite(width)) {
+      spawn_rung(std::move(bucket), child_limit);
+    } else {
+      sort_into_bottom(std::move(bucket));
+    }
+  }
+}
+
+const QueueEntry* LadderQueue::peek_min() {
+  if (size_ == 0) return nullptr;
+  ensure_bottom();
+  return &bottom_.back();
+}
+
+QueueEntry LadderQueue::pop_min() {
+  ABE_CHECK_GT(size_, 0u);
+  ensure_bottom();
+#ifdef ABE_EQUEUE_VALIDATE
+  // Full-scan order validation is O(live) per pop: exhaustive at small
+  // sizes, sampled past 4096 live so sanitizer runs of 10^5-event suites
+  // stay inside their timeouts.
+  // thread_local: ladder queues pop concurrently on trial-pool workers,
+  // and a shared counter would be a data race (the cadence is per-thread
+  // sampling state, not shared program state).
+  thread_local std::uint64_t validate_tick = 0;
+  if (size_ <= 4096 || (++validate_tick & 255u) == 0u) {
+    const QueueEntry cand = bottom_.back();
+    const QueueEntry* best = nullptr;
+    const char* where = "";
+    std::size_t wrung = 0, wbucket = 0;
+    for (const QueueEntry& e : top_) if (!best || entry_earlier(e, *best)) { best = &e; where = "top"; }
+    for (std::size_t ri = 0; ri < rungs_.size(); ++ri)
+      for (std::size_t bi = 0; bi < rungs_[ri].buckets.size(); ++bi)
+        for (const QueueEntry& e : rungs_[ri].buckets[bi])
+          if (!best || entry_earlier(e, *best)) { best = &e; where = "rung"; wrung = ri; wbucket = bi; }
+    for (const QueueEntry& e : bottom_) if (!best || entry_earlier(e, *best)) { best = &e; where = "bottom"; }
+    if (best && entry_earlier(*best, cand)) {
+      std::fprintf(stderr, "LADDER ORDER BUG: cand t=%.17g seq=%llu; true min t=%.17g seq=%llu in %s",
+        entry_time(cand), (unsigned long long)cand.seq, entry_time(*best), (unsigned long long)best->seq, where);
+      if (where[0]=='r') {
+        const Rung& r = rungs_[wrung];
+        std::fprintf(stderr, " (rung %zu/%zu bucket %zu cur %zu nb %zu start=%.17g width=%.17g limit=%.17g count=%zu)",
+          wrung, rungs_.size(), wbucket, r.cur, r.buckets.size(), r.start, r.width, r.limit, r.count);
+      }
+      std::fprintf(stderr, "\n");
+      std::abort();
+    }
+  }
+#endif
+  const QueueEntry top = bottom_.back();
+  bottom_.pop_back();
+  // The popped slot's locator goes stale (erase_slot precondition: live
+  // slots only) — clearing it would cost a random write per pop.
+  --size_;
+  if (size_ == 0) {
+    rungs_.clear();
+    top_floor_bits_ = 0;
+  }
+  return top;
+}
+
+bool LadderQueue::erase_slot(std::uint32_t slot) {
+  if (slot >= locators_.size()) return false;
+  const Locator loc = locators_[slot];
+  switch (loc.region) {
+    case Region::kNone:
+      return false;
+    case Region::kTop:
+      if (loc.index + 1 != top_.size()) {
+        top_[loc.index] = top_.back();
+        locators_[top_[loc.index].slot].index = loc.index;
+      }
+      top_.pop_back();
+      break;
+    case Region::kRung: {
+      Rung& r = rungs_[loc.rung];
+      auto& bucket = r.buckets[loc.bucket];
+      if (loc.index + 1 != bucket.size()) {
+        bucket[loc.index] = bucket.back();
+        locators_[bucket[loc.index].slot].index = loc.index;
+      }
+      bucket.pop_back();
+      --r.count;
+      break;
+    }
+    case Region::kBottom:
+      bottom_.erase(bottom_.begin() +
+                    static_cast<std::ptrdiff_t>(loc.index));
+      reindex_bottom(loc.index);
+      break;
+  }
+  locators_[slot].region = Region::kNone;
+  --size_;
+  if (size_ == 0) {
+    rungs_.clear();
+    bottom_.clear();
+    top_.clear();
+    top_floor_bits_ = 0;
+  }
+  return true;
+}
+
+void LadderQueue::drain_into(std::vector<QueueEntry>& out) {
+  out.insert(out.end(), top_.begin(), top_.end());
+  top_.clear();
+  for (Rung& r : rungs_) {
+    for (auto& bucket : r.buckets) {
+      out.insert(out.end(), bucket.begin(), bucket.end());
+      bucket.clear();
+    }
+  }
+  rungs_.clear();
+  out.insert(out.end(), bottom_.begin(), bottom_.end());
+  bottom_.clear();
+  size_ = 0;
+  top_floor_bits_ = 0;
+}
+
+}  // namespace abe

@@ -1,0 +1,118 @@
+// Ladder queue backend: O(1)-amortized event queue that stays O(1) under
+// heavy-tailed and strongly clustered timestamp distributions.
+//
+// The calendar queue assumes a roughly uniform spread: one global bucket
+// width must fit everything. Heavy-tailed delay mixes (the simulator's
+// Erlang/exponential/Lomax cells) cluster most events near now() with a
+// long sparse tail, and any single width is wrong for one of the two
+// regions. The ladder queue [Tang, Goh, Thng, TOMACS 2005] fixes this by
+// bucketing lazily and hierarchically:
+//
+//   * Top: an unsorted bag for far-future events (beyond every structure
+//     built so far). Push is O(1) append.
+//   * Rungs: when the consumption front reaches the top bag, its events are
+//     spread over a rung of buckets sized to THAT bag's min/max span. When
+//     a single bucket is reached and still holds too many events, it spawns
+//     a deeper rung spanning just that bucket — the bucket width refines
+//     itself exactly where events cluster, with no global tuning knob.
+//   * Bottom: the current bucket's events, sorted (descending, so pop is a
+//     pop_back) once the bucket is small enough. All pops come from here.
+//
+// Each event is touched a small constant number of times on its way down
+// (top -> O(1) rungs -> bottom sort of O(threshold) elements), giving O(1)
+// amortized push/pop independent of the timestamp distribution.
+//
+// Determinism: region boundaries only partition the pending set; pop order
+// within bottom is by full packed (time-bits, seq) key and the region
+// invariants (bottom < every rung entry < every top entry, with boundary
+// ties resolved by seq because later pushes get larger sequence numbers)
+// guarantee the global pop sequence is the same strict key order every
+// other backend produces.
+//
+// Cancellation: a per-slot locator (region, bucket, index) gives O(1)
+// erase from the top bag and rung buckets (swap-remove) and O(threshold)
+// from the sorted bottom (erase + shift).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/equeue/event_queue.h"
+
+namespace abe {
+
+class LadderQueue final : public EventQueue {
+ public:
+  void push(const QueueEntry& entry) override;
+  const QueueEntry* peek_min() override;
+  QueueEntry pop_min() override;
+  bool erase_slot(std::uint32_t slot) override;
+  void drain_into(std::vector<QueueEntry>& out) override;
+  std::size_t size() const override { return size_; }
+  const char* name() const override { return "ladder"; }
+
+ private:
+  // A bucket bigger than this is spread over a deeper rung instead of being
+  // sorted into bottom (when depth and width allow).
+  static constexpr std::size_t kSortThreshold = 80;
+  // Mean bucket occupancy a fresh rung aims for (see spawn_rung).
+  static constexpr std::size_t kEventsPerRungBucket = 64;
+  // Rung depth backstop: beyond this, buckets are sorted into bottom no
+  // matter their size (pathological all-equal-time sets stop refining).
+  static constexpr std::size_t kMaxRungs = 10;
+
+  enum class Region : std::uint8_t { kNone, kTop, kRung, kBottom };
+  struct Locator {
+    Region region = Region::kNone;
+    std::uint8_t rung = 0;
+    std::uint32_t bucket = 0;
+    std::uint32_t index = 0;
+  };
+  struct Rung {
+    double start = 0.0;      // time of bucket 0's left edge
+    double width = 1.0;      // bucket span
+    double inv_width = 1.0;  // 1/width: a multiply on the push path, not a
+                             // divide (worth ~10% of raw push throughput)
+    // Exclusive membership bound for new pushes: the right edge of the
+    // region this rung refines (+inf for a rung lowered from top). An
+    // entry at or beyond `limit` belongs to a SHALLOWER structure —
+    // without this bound a push could land here and pop before earlier
+    // entries of the parent. Every entry stored in the rung is < limit
+    // (spawn invariant), which is what makes the child-limit computation
+    // in ensure_bottom airtight.
+    double limit = kTimeInfinity;
+    std::size_t cur = 0;  // first unconsumed bucket
+    std::size_t count = 0;  // live entries in this rung
+    // The grid sized at spawn time plus one trailing OVERFLOW bucket
+    // covering [grid end, limit) for later pushes past the grid.
+    std::vector<std::vector<QueueEntry>> buckets;
+
+    double cur_start() const {
+      return start + static_cast<double>(cur) * width;
+    }
+  };
+
+  Locator& locator_of(std::uint32_t slot);
+  void push_top(const QueueEntry& entry);
+  void push_rung(std::size_t rung_index, const QueueEntry& entry);
+  void push_bottom(const QueueEntry& entry);
+  // Spreads `entries` over a fresh deepest rung spanning their min/max,
+  // with `limit` as its membership bound. Pre: entries span a positive,
+  // finite width.
+  void spawn_rung(std::vector<QueueEntry> entries, double limit);
+  void sort_into_bottom(std::vector<QueueEntry> entries);
+  // Moves events into bottom until it is non-empty (or the queue is empty):
+  // advances rung cursors, spawns/sorts buckets, and lowers the top bag
+  // into rung 0 when every rung is exhausted.
+  void ensure_bottom();
+  void reindex_bottom(std::size_t from);
+
+  std::vector<QueueEntry> top_;
+  std::uint64_t top_floor_bits_ = 0;  // entries at/above this go to top
+  std::vector<Rung> rungs_;
+  std::vector<QueueEntry> bottom_;  // sorted descending; back() is the min
+  std::vector<Locator> locators_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace abe

@@ -6,6 +6,34 @@
 
 namespace abe {
 
+Scheduler::Scheduler(EqueueBackend requested) {
+  const EqueueBackend resolved = resolve_equeue_backend(requested);
+  if (resolved == EqueueBackend::kAuto) {
+    auto_backend_ = true;
+    queue_ = make_event_queue(EqueueBackend::kHeap);
+  } else {
+    queue_ = make_event_queue(resolved);
+  }
+  if (resolved == EqueueBackend::kAuto || resolved == EqueueBackend::kHeap) {
+    fast_heap_ = static_cast<HeapQueue*>(queue_.get());
+  }
+}
+
+void Scheduler::maybe_migrate() {
+  if (!auto_backend_ || q_size() <= kEqueueAutoThreshold) return;
+  // One-way migration: workloads that grow past the threshold have left the
+  // heap's sweet spot for good (shrinking back would thrash on workloads
+  // oscillating around the boundary). Pop order is unaffected — the entry
+  // set carries over and every backend pops in the same strict key order.
+  auto_backend_ = false;
+  fast_heap_ = nullptr;
+  std::vector<QueueEntry> entries;
+  entries.reserve(queue_->size());
+  queue_->drain_into(entries);
+  queue_ = make_event_queue(EqueueBackend::kCalendar);
+  for (const QueueEntry& e : entries) queue_->push(e);
+}
+
 EventId Scheduler::schedule_at(SimTime when, Action action) {
   ABE_CHECK_GE(when, now_);
   ABE_CHECK(static_cast<bool>(action)) << "scheduled action must be callable";
@@ -14,16 +42,18 @@ EventId Scheduler::schedule_at(SimTime when, Action action) {
     slot = free_.back();
     free_.pop_back();
   } else {
-    ABE_CHECK_LT(slots_.size(), static_cast<std::size_t>(kNullPos));
+    ABE_CHECK_LT(slots_.size(), static_cast<std::size_t>(kMaxSlot));
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back();
   }
   Slot& s = slots_[slot];
   s.action = std::move(action);
-  s.heap_pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(HeapEntry{time_to_bits(when), next_seq_, slot});
+  s.live = true;
+  q_push(QueueEntry{time_to_bits(when), next_seq_, slot});
   ++next_seq_;
-  sift_up(s.heap_pos);
+  // Threshold check inline; the out-of-line migration itself runs at most
+  // once per scheduler lifetime.
+  if (auto_backend_ && q_size() > kEqueueAutoThreshold) maybe_migrate();
   return EventId{encode(slot, s.gen)};
 }
 
@@ -49,11 +79,11 @@ bool Scheduler::cancel(EventId id) {
       static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) >> 32);
   if (slot >= slots_.size()) return false;
   Slot& s = slots_[slot];
-  // heap_pos == kNullPos: the event already ran or was cancelled and the
-  // slot is free. Generation mismatch: the slot was reused by a newer event
-  // — this handle's event is long gone; never touch the new occupant.
-  if (s.heap_pos == kNullPos || (s.gen & kGenMask) != gen) return false;
-  heap_erase(s.heap_pos);
+  // !live: the event already ran or was cancelled and the slot is free.
+  // Generation mismatch: the slot was reused by a newer event — this
+  // handle's event is long gone; never touch the new occupant.
+  if (!s.live || (s.gen & kGenMask) != gen) return false;
+  ABE_CHECK(q_erase(slot)) << "live slot missing from backend";
   release_slot(slot);
   return true;
 }
@@ -61,7 +91,7 @@ bool Scheduler::cancel(EventId id) {
 void Scheduler::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.action.reset();
-  s.heap_pos = kNullPos;
+  s.live = false;
   ++s.gen;  // invalidates every outstanding EventId for this slot
   // Generations are encoded in 31 bits; rather than let a slot's counter
   // wrap (after 2^31 reuses a sufficiently stale handle could alias a live
@@ -70,101 +100,14 @@ void Scheduler::release_slot(std::uint32_t slot) {
   if (s.gen < kGenMask) free_.push_back(slot);
 }
 
-void Scheduler::place_up(HeapEntry e, std::uint32_t pos) {
-  while (pos > 0) {
-    const std::uint32_t parent = (pos - 1) >> 2;
-    if (!earlier(e, heap_[parent])) break;
-    heap_[pos] = heap_[parent];
-    slots_[heap_[pos].slot].heap_pos = pos;
-    pos = parent;
-  }
-  heap_[pos] = e;
-  slots_[e.slot].heap_pos = pos;
-}
-
-void Scheduler::sift_up(std::uint32_t pos) { place_up(heap_[pos], pos); }
-
-void Scheduler::sift_down(std::uint32_t pos) {
-  const HeapEntry e = heap_[pos];
-  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
-  for (;;) {
-    const std::uint32_t first = pos * 4 + 1;
-    if (first >= size) break;
-    std::uint32_t best = first;
-    const std::uint32_t end = first + 4 < size ? first + 4 : size;
-    for (std::uint32_t c = first + 1; c < end; ++c) {
-      if (earlier(heap_[c], heap_[best])) best = c;
-    }
-    if (!earlier(heap_[best], e)) break;
-    heap_[pos] = heap_[best];
-    slots_[heap_[pos].slot].heap_pos = pos;
-    pos = best;
-  }
-  heap_[pos] = e;
-  slots_[e.slot].heap_pos = pos;
-}
-
-// Pop path: the root hole is refilled with the (late) last entry, which
-// almost always sinks back to the bottom. Walking the min-child path to a
-// leaf first (3 comparisons per level, none against the moved entry) and
-// then sifting up from the leaf beats the textbook sift_down, which pays a
-// fourth comparison per level just to discover "keep sinking".
-void Scheduler::sift_down_from_root() {
-  const HeapEntry e = heap_[0];
-  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
-  std::uint32_t pos = 0;
-  for (;;) {
-    const std::uint32_t first = pos * 4 + 1;
-    if (first >= size) break;
-    std::uint32_t best = first;
-    const std::uint32_t end = first + 4 < size ? first + 4 : size;
-    for (std::uint32_t c = first + 1; c < end; ++c) {
-      if (earlier(heap_[c], heap_[best])) best = c;
-    }
-    heap_[pos] = heap_[best];
-    slots_[heap_[pos].slot].heap_pos = pos;
-    pos = best;
-  }
-  // e lands at the leaf hole; bubble it back up to its true position
-  // (place_up directly — writing e into the hole just to re-read it would
-  // cost a measurable fraction of the pop on this path).
-  place_up(e, pos);
-}
-
-void Scheduler::heap_erase(std::uint32_t pos) {
-  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
-  if (pos != last) {
-    heap_[pos] = heap_[last];
-    slots_[heap_[pos].slot].heap_pos = pos;
-    heap_.pop_back();
-    // The moved-in entry may violate the heap property in either direction.
-    if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) >> 2])) {
-      sift_up(pos);
-    } else {
-      sift_down(pos);
-    }
-  } else {
-    heap_.pop_back();
-  }
-}
-
 void Scheduler::run_top() {
-  const HeapEntry top = heap_[0];
+  const QueueEntry top = q_pop();
   const SimTime when = bits_to_time(top.time_bits);
   ABE_CHECK_GE(when, now_);
   now_ = when;
   // Move the action out and retire the record *before* invoking: the action
-  // may schedule new events, growing the slab and heap under our feet.
+  // may schedule new events, growing the slab under our feet.
   Action action = std::move(slots_[top.slot].action);
-  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
-  if (last != 0) {
-    heap_[0] = heap_[last];
-    slots_[heap_[0].slot].heap_pos = 0;
-    heap_.pop_back();
-    sift_down_from_root();
-  } else {
-    heap_.pop_back();
-  }
   release_slot(top.slot);
   action.invoke_and_reset();
   ++processed_;
@@ -173,7 +116,7 @@ void Scheduler::run_top() {
 std::uint64_t Scheduler::run() {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (!stop_requested_ && !heap_.empty()) {
+  while (!stop_requested_ && q_size() != 0) {
     run_top();
     ++n;
   }
@@ -185,8 +128,9 @@ std::uint64_t Scheduler::run_until(SimTime deadline) {
   const std::uint64_t deadline_bits = time_to_bits(deadline);
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (!stop_requested_ && !heap_.empty()) {
-    if (heap_[0].time_bits > deadline_bits) break;
+  while (!stop_requested_) {
+    const QueueEntry* top = q_peek();
+    if (top == nullptr || top->time_bits > deadline_bits) break;
     run_top();
     ++n;
   }
@@ -201,7 +145,7 @@ std::uint64_t Scheduler::run_until(SimTime deadline) {
 std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (n < max_events && !stop_requested_ && !heap_.empty()) {
+  while (n < max_events && !stop_requested_ && q_size() != 0) {
     run_top();
     ++n;
   }

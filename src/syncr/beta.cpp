@@ -199,6 +199,7 @@ BetaRunResult run_beta_synchronizer(const Topology& topology,
   config.processing = environment.processing;
   config.loss_probability = environment.loss_probability;
   config.seed = seed;
+  config.equeue = environment.equeue;
 
   Network net(std::move(config));
   net.build_nodes([&](std::size_t i) -> NodePtr {

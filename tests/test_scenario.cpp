@@ -263,12 +263,13 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   std::ostringstream os;
   write_sweep_json(os, meta, outcomes);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v1\""),
+  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"git_sha\": \"cafe123\""), std::string::npos);
   EXPECT_NE(json.find("\"trial_threads\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"cell\": \"polling/torus-9/exponential/ideal/none\""),
             std::string::npos);
+  EXPECT_NE(json.find("\"equeue\": \"auto\""), std::string::npos);
   EXPECT_NE(json.find("\"safety_violations\": 0"), std::string::npos);
   // Balanced braces: cheap structural sanity (CI runs the real validator,
   // bench/validate_scenarios.py, on emitted files).
