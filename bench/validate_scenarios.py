@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Validate abe_scenarios sweep JSON against the v1 schema.
+"""Validate abe_scenarios sweep JSON against the sweep schema.
 
   python3 bench/validate_scenarios.py sweep.json [more.json ...]
 
-Checks the structure the "abe-scenario-sweep-v2" schema promises — the
-metadata provenance block, per-cell axes, and aggregate summaries — plus the
-one correctness gate a structural check can carry: safety_violations == 0
-(a cell that elected two leaders is a bug, not a perf delta). Exit codes:
-0 valid, 1 schema violation or safety violation, 2 unreadable input.
+Checks the structure the "abe-scenario-sweep-v3" schema promises — the
+metadata provenance block, per-cell axes (including the execution runtime),
+and aggregate summaries — plus the one correctness gate a structural check
+can carry: safety_violations == 0 (a cell that elected two leaders is a
+bug, not a perf delta). v2 documents (pre-runtime-axis) are still accepted:
+they are v3 minus the runtime fields. Exit codes: 0 valid, 1 schema
+violation or safety violation, 2 unreadable input.
 
 CI runs this in the scenario-smoke job; it is dependency-free on purpose
 (stdlib json only).
@@ -16,7 +18,7 @@ CI runs this in the scenario-smoke job; it is dependency-free on purpose
 import json
 import sys
 
-SCHEMA = "abe-scenario-sweep-v2"
+SCHEMAS = ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3")
 
 METADATA_FIELDS = {
     "git_sha": str,
@@ -27,6 +29,8 @@ METADATA_FIELDS = {
     "trials": int,
     "seed_base": int,
 }
+
+RUNTIMES = ("sim", "thread")
 
 SUMMARY_FIELDS = {
     "count": int,
@@ -70,13 +74,21 @@ def check_fields(path, obj, fields, where):
 
 
 def validate(path, doc):
-    if doc.get("schema") != SCHEMA:
-        return fail(path, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        return fail(path, f"schema is {schema!r}, want one of {SCHEMAS}")
+    v3 = schema == "abe-scenario-sweep-v3"
     metadata = doc.get("metadata")
     if not isinstance(metadata, dict):
         return fail(path, "metadata is not an object")
-    if not check_fields(path, metadata, METADATA_FIELDS, "metadata"):
+    metadata_fields = dict(METADATA_FIELDS)
+    if v3:
+        metadata_fields["runtime"] = str
+    if not check_fields(path, metadata, metadata_fields, "metadata"):
         return False
+    if v3 and metadata["runtime"] not in RUNTIMES:
+        return fail(path, f"metadata.runtime {metadata['runtime']!r} not in "
+                          f"{RUNTIMES}")
     cells = doc.get("cells")
     if not isinstance(cells, list) or not cells:
         return fail(path, "cells must be a non-empty array")
@@ -84,8 +96,14 @@ def validate(path, doc):
         where = f"cells[{i}]"
         if not isinstance(cell, dict):
             return fail(path, f"{where} is not an object")
-        if not check_fields(path, cell, CELL_FIELDS, where):
+        cell_fields = dict(CELL_FIELDS)
+        if v3:
+            cell_fields["runtime"] = str
+        if not check_fields(path, cell, cell_fields, where):
             return False
+        if v3 and cell["runtime"] not in RUNTIMES:
+            return fail(path, f"{where}.runtime {cell['runtime']!r} not in "
+                              f"{RUNTIMES}")
         topo = cell["topology"]
         if not isinstance(topo.get("family"), str) or \
                 not isinstance(topo.get("n"), int) or topo["n"] < 1:

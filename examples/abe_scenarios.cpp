@@ -12,6 +12,12 @@
 //   --equeue B    scheduler event-queue backend (auto|heap|calendar|ladder)
 //                 for cells that do not pin one; recorded in the JSON
 //                 provenance block. Results are bit-identical per backend.
+//   --runtime R   execution substrate (sim|thread) for cells that do not
+//                 pin one. `thread` runs one OS thread per node with
+//                 wall-clock delays — a fidelity check on the simulator;
+//                 cells the thread runtime cannot realise (piecewise
+//                 drift, pinned equeue, n > 256) are rejected up front,
+//                 and wall-clock results are nondeterministic by design.
 //   --json PATH   also write the structured sweep JSON ("-" for stdout)
 //   --n N         override the topology size (run only)
 //   --delay NAME --mean M   override the delay model (run only)
@@ -56,9 +62,9 @@ int usage(const char* program) {
                "       %s describe <scenario>\n"
                "       %s run <scenario> [--trials N] [--seed N] "
                "[--threads N] [--n N] [--delay NAME] [--mean M] "
-               "[--equeue B] [--json PATH]\n"
+               "[--equeue B] [--runtime R] [--json PATH]\n"
                "       %s sweep [<sweep>] [--trials N] [--seed N] "
-               "[--threads N] [--equeue B] [--json PATH]\n",
+               "[--threads N] [--equeue B] [--runtime R] [--json PATH]\n",
                program, program, program, program);
   return 2;
 }
@@ -94,12 +100,14 @@ int cmd_describe(const std::string& name) {
 abe::SweepRunMetadata make_metadata(std::uint64_t trials,
                                     std::uint64_t seed_base,
                                     unsigned threads,
-                                    abe::EqueueBackend equeue) {
+                                    abe::EqueueBackend equeue,
+                                    abe::RuntimeKind runtime) {
   abe::SweepRunMetadata meta;
   meta.git_sha = ABE_BENCH_GIT_SHA;
   meta.compiler = ABE_BENCH_COMPILER;
   meta.build_type = ABE_BENCH_BUILD_TYPE;
   meta.equeue = abe::equeue_backend_name(equeue);
+  meta.runtime = abe::runtime_kind_name(runtime);
   meta.threads = abe::resolve_trial_threads(threads);
   meta.trials = trials;
   meta.seed_base = seed_base;
@@ -126,8 +134,12 @@ bool emit_json(const std::string& path, const abe::SweepRunMetadata& meta,
 
 // Shared tail of `run` and `sweep`: execute cells, print the table, emit
 // JSON, and fail the process when any cell violated safety.
+// `runtime_overridable` is false for sweeps whose matrix declares its own
+// runtimes axis: those cells pinned a substrate on purpose, and a blanket
+// --runtime would rewrite the sim-pinned half into duplicates of the
+// thread-pinned half (cell ids must stay unique).
 int run_cells(std::vector<abe::ScenarioSpec> cells,
-              const abe::CliFlags& flags) {
+              const abe::CliFlags& flags, bool runtime_overridable = true) {
   const std::int64_t trials_flag = flags.get_int("trials", 0);
   const std::int64_t seed_flag = flags.get_int("seed", 1);
   const std::int64_t threads_flag = flags.get_int("threads", 0);
@@ -159,6 +171,51 @@ int run_cells(std::vector<abe::ScenarioSpec> cells,
     }
   }
 
+  // --runtime applies to every cell that has not pinned a substrate itself
+  // (a matrix runtimes axis keeps its pins so cell ids stay truthful).
+  // Cells the selected runtime cannot realise are rejected before any
+  // trial runs — each with its structural reason, mirroring `describe` —
+  // and the sweep proceeds with the realisable remainder (an empty
+  // remainder is an error).
+  abe::RuntimeKind runtime = abe::RuntimeKind::kSim;
+  if (flags.has("runtime")) {
+    const std::string name = flags.get_string("runtime", "sim");
+    if (!abe::runtime_kind_from_name(name, &runtime)) {
+      std::fprintf(stderr, "unknown runtime '%s'; known: sim thread\n",
+                   name.c_str());
+      return 2;
+    }
+    if (!runtime_overridable) {
+      std::fprintf(stderr,
+                   "this sweep pins its own runtime axis; --runtime does "
+                   "not apply\n");
+      return 2;
+    }
+    for (abe::ScenarioSpec& cell : cells) {
+      if (cell.runtime == abe::RuntimeKind::kSim) cell.runtime = runtime;
+    }
+  }
+  {
+    std::vector<abe::ScenarioSpec> realisable;
+    realisable.reserve(cells.size());
+    for (abe::ScenarioSpec& cell : cells) {
+      const std::string problem = abe::runtime_cell_problem(cell);
+      if (problem.empty()) {
+        realisable.push_back(std::move(cell));
+      } else {
+        std::fprintf(stderr, "rejected %s: %s\n", cell.cell_id().c_str(),
+                     problem.c_str());
+      }
+    }
+    if (realisable.empty()) {
+      std::fprintf(stderr,
+                   "no cell can run on the requested runtime (see reasons "
+                   "above; `describe` shows per-scenario compatibility)\n");
+      return 2;
+    }
+    cells = std::move(realisable);
+  }
+
   const auto outcomes = abe::run_sweep(
       cells, trials, seed_base, threads,
       [](std::size_t i, std::size_t total,
@@ -178,7 +235,7 @@ int run_cells(std::vector<abe::ScenarioSpec> cells,
                abe::render_sweep_table(outcomes).c_str());
   if (!json_path.empty() &&
       !emit_json(json_path,
-                 make_metadata(trials, seed_base, threads, equeue),
+                 make_metadata(trials, seed_base, threads, equeue, runtime),
                  outcomes)) {
     return 2;
   }
@@ -247,7 +304,8 @@ int cmd_sweep(const std::string& name, const abe::CliFlags& flags) {
     std::fprintf(stderr, "unknown sweep '%s' (try `list`)\n", name.c_str());
     return 2;
   }
-  return run_cells(matrix->expand(), flags);
+  return run_cells(matrix->expand(), flags,
+                   /*runtime_overridable=*/matrix->runtimes.empty());
 }
 
 }  // namespace
@@ -258,7 +316,7 @@ int main(int argc, char** argv) {
   // before any trials run, not silently defaulted.
   for (const char* known :
        {"trials", "seed", "threads", "json", "n", "delay", "mean",
-        "equeue"}) {
+        "equeue", "runtime"}) {
     flags.has(known);
   }
   const auto unknown = flags.unknown_flags();

@@ -1,14 +1,16 @@
 #include "algo/gossip.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "util/check.h"
 
 namespace abe {
 
-GossipNode::GossipNode(bool initially_informed)
-    : informed_(initially_informed) {}
+GossipNode::GossipNode(bool initially_informed,
+                       std::function<void()> on_informed)
+    : informed_(initially_informed), on_informed_(std::move(on_informed)) {}
 
 void GossipNode::on_tick(Context& ctx, std::uint64_t /*tick*/) {
   if (!informed_ || ctx.out_degree() == 0) return;
@@ -23,6 +25,7 @@ void GossipNode::on_message(Context& ctx, std::size_t /*in_index*/,
   if (!informed_) {
     informed_ = true;
     informed_at_ = ctx.real_now();
+    if (on_informed_) on_informed_();
   }
 }
 
@@ -32,11 +35,80 @@ std::string GossipNode::state_string() const {
   return os.str();
 }
 
-GossipResult run_gossip(const GossipExperiment& experiment) {
-  validate_topology(experiment.topology);
-  ABE_CHECK_LT(experiment.source, experiment.topology.n);
+namespace {
 
-  NetworkConfig config;
+class GossipDriver final : public AlgorithmDriver {
+ public:
+  GossipDriver(const GossipExperiment& experiment, GossipResult* sink)
+      : source_(experiment.source), sink_(sink) {
+    ABE_CHECK(sink_ != nullptr);
+  }
+
+  void configure(RuntimeConfig& config) override {
+    ABE_CHECK_LT(source_, config.topology.n);
+    n_ = config.topology.n;
+    config.enable_ticks = true;  // informed nodes push on local ticks
+  }
+
+  NodePtr make_node(std::size_t index) override {
+    const bool informed = index == source_;
+    if (informed) {
+      // The source never transitions; count it here so the done predicate
+      // tracks exactly "nodes informed so far".
+      informed_count_.fetch_add(1, std::memory_order_relaxed);
+      return std::make_unique<GossipNode>(true);
+    }
+    std::atomic<std::size_t>* count = &informed_count_;
+    return std::make_unique<GossipNode>(false, [count] {
+      count->fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  bool done(const Runtime& /*rt*/) override {
+    return informed_count_.load(std::memory_order_acquire) >= n_;
+  }
+
+  TrialOutcome extract(Runtime& rt, bool completed) override {
+    const RunStats stats = rt.stats();
+    sink_->all_informed = completed;
+    sink_->messages = stats.messages_sent;
+
+    TrialOutcome out;
+    out.messages = sink_->messages;
+    if (!completed) {
+      out.safety_detail = "rumor did not reach everyone";
+      return out;
+    }
+
+    Summary inform_times;
+    SimTime last = 0.0;
+    for (std::size_t i = 0; i < rt.size(); ++i) {
+      const auto& node = static_cast<const GossipNode&>(rt.node(i));
+      inform_times.add(node.informed_at());
+      last = std::max(last, node.informed_at());
+    }
+    sink_->spread_time = last;
+    sink_->mean_inform_time = inform_times.mean();
+
+    out.completed = true;
+    // Gossip's safety postcondition is total dissemination itself.
+    out.safety_ok = true;
+    out.time = sink_->spread_time;
+    return out;
+  }
+
+ private:
+  std::size_t source_;
+  GossipResult* sink_;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> informed_count_{0};
+};
+
+}  // namespace
+
+RuntimeConfig gossip_runtime_config(const GossipExperiment& experiment) {
+  validate_topology(experiment.topology);
+  RuntimeConfig config;
   config.topology = experiment.topology;
   config.delay = experiment.delay
                      ? experiment.delay
@@ -46,38 +118,22 @@ GossipResult run_gossip(const GossipExperiment& experiment) {
   config.drift = experiment.drift;
   config.processing = experiment.processing;
   config.loss_probability = experiment.loss_probability;
-  config.enable_ticks = true;
   config.seed = experiment.seed;
   config.equeue = experiment.equeue;
+  config.deadline = experiment.deadline;
+  return config;
+}
 
-  Network net(std::move(config));
-  net.build_nodes([&](std::size_t i) -> NodePtr {
-    return std::make_unique<GossipNode>(i == experiment.source);
-  });
-  net.start();
+std::unique_ptr<AlgorithmDriver> make_gossip_driver(
+    const GossipExperiment& experiment, GossipResult* sink) {
+  return std::make_unique<GossipDriver>(experiment, sink);
+}
 
-  auto all_informed = [&] {
-    for (std::size_t i = 0; i < net.size(); ++i) {
-      if (!static_cast<const GossipNode&>(net.node(i)).informed()) {
-        return false;
-      }
-    }
-    return true;
-  };
+GossipResult run_gossip(const GossipExperiment& experiment) {
   GossipResult result;
-  result.all_informed = net.run_until(all_informed, experiment.deadline);
-  result.messages = net.metrics().messages_sent;
-  if (!result.all_informed) return result;
-
-  Summary inform_times;
-  SimTime last = 0.0;
-  for (std::size_t i = 0; i < net.size(); ++i) {
-    const auto& node = static_cast<const GossipNode&>(net.node(i));
-    inform_times.add(node.informed_at());
-    last = std::max(last, node.informed_at());
-  }
-  result.spread_time = last;
-  result.mean_inform_time = inform_times.mean();
+  const auto driver = make_gossip_driver(experiment, &result);
+  run_algorithm_trial(RuntimeKind::kSim, gossip_runtime_config(experiment),
+                      *driver);
   return result;
 }
 

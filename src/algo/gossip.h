@@ -10,10 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "net/network.h"
 #include "net/node.h"
+#include "runtime/runtime.h"
 #include "stats/summary.h"
 
 namespace abe {
@@ -29,8 +32,13 @@ class RumorPayload final : public Payload {
 
 class GossipNode final : public Node {
  public:
-  // `initially_informed`: the rumor source(s).
-  explicit GossipNode(bool initially_informed);
+  // `initially_informed`: the rumor source(s). `on_informed` fires once,
+  // at the transition to informed (never for an initially informed node) —
+  // on the thread runtime it runs on the node's thread, so observers must
+  // be atomic. It lets run loops watch dissemination without scanning node
+  // state, which would race with node threads.
+  explicit GossipNode(bool initially_informed,
+                      std::function<void()> on_informed = nullptr);
 
   void on_tick(Context& ctx, std::uint64_t tick) override;
   void on_message(Context& ctx, std::size_t in_index,
@@ -44,6 +52,7 @@ class GossipNode final : public Node {
 
  private:
   bool informed_;
+  std::function<void()> on_informed_;
   SimTime informed_at_ = 0.0;
   std::uint64_t pushes_ = 0;
 };
@@ -73,6 +82,19 @@ struct GossipResult {
   double mean_inform_time = 0.0;  // averaged over nodes
 };
 
+// Runs one gossip spread on the simulator. (Thin shim over the gossip
+// AlgorithmDriver below; seeded results are bit-identical to the
+// pre-Runtime runner.)
 GossipResult run_gossip(const GossipExperiment& experiment);
+
+// The experiment's environment as a runtime-agnostic RuntimeConfig (the
+// driver enables ticks — gossip pushes on the local clock).
+RuntimeConfig gossip_runtime_config(const GossipExperiment& experiment);
+
+// Push gossip as an AlgorithmDriver (runtime/runtime.h): done once every
+// node is informed (atomic counter fed by on_informed), full GossipResult
+// into `*sink`. One driver instance per trial.
+std::unique_ptr<AlgorithmDriver> make_gossip_driver(
+    const GossipExperiment& experiment, GossipResult* sink);
 
 }  // namespace abe

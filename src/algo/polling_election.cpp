@@ -1,6 +1,7 @@
 #include "algo/polling_election.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "core/trial_pool.h"
@@ -151,10 +152,153 @@ void PollingElectionNode::finish(Context& ctx, std::uint64_t winner) {
   }
 }
 
-PollingRunResult run_polling_election(const PollingExperiment& experiment) {
-  validate_topology(experiment.topology);
+namespace {
 
-  NetworkConfig config;
+// Leader observation shared between nodes and the run loop; atomics because
+// on the thread runtime on_leader fires concurrently from node threads. On
+// the simulator the values are identical to the old plain-integer watch.
+struct PollingWatch {
+  std::atomic<std::uint64_t> leader_count{0};
+  std::atomic<std::uint64_t> last_leader{0};
+};
+
+class PollingDriver final : public AlgorithmDriver {
+ public:
+  PollingDriver(const PollingExperiment& experiment, PollingRunResult* sink)
+      : id_bits_(experiment.id_bits),
+        loss_probability_(experiment.loss_probability),
+        sink_(sink) {
+    ABE_CHECK(sink_ != nullptr);
+  }
+
+  void configure(RuntimeConfig& config) override {
+    // Coordination structure is infrastructure, not anonymous algorithm
+    // state: the tree is precomputed from the topology (cf. BetaWiring).
+    wiring_ = build_polling_wiring(config.topology);
+  }
+
+  NodePtr make_node(std::size_t index) override {
+    PollingOptions options;
+    options.id_bits = id_bits_;
+    PollingWatch* watch = &watch_;
+    options.on_leader = [watch](NodeId node, SimTime /*when*/) {
+      watch->last_leader.store(static_cast<std::uint64_t>(node.value()),
+                               std::memory_order_relaxed);
+      watch->leader_count.fetch_add(1, std::memory_order_release);
+    };
+    return std::make_unique<PollingElectionNode>(wiring_[index],
+                                                 std::move(options));
+  }
+
+  bool done(const Runtime& /*rt*/) override {
+    return watch_.leader_count.load(std::memory_order_acquire) > 0;
+  }
+
+  void on_complete(Runtime& rt) override {
+    sink_->elected = true;
+    sink_->leader_index = static_cast<std::size_t>(
+        watch_.last_leader.load(std::memory_order_relaxed));
+    sink_->election_time = rt.now();
+    sink_->messages = rt.stats().messages_sent;
+  }
+
+  void settle(Runtime& rt, bool completed) override {
+    // Let the RESULT broadcast drain so the terminal configuration (and
+    // any second leader a bug would produce) is observable. The protocol
+    // has no tick generators and the broadcast sends a bounded message
+    // count, so the queue always drains — no settle window to tune (a
+    // timed window would truncate deep trees: the RESULT descends
+    // depth-many channels in sequence, an Erlang-depth tail). On the
+    // thread runtime the drain is bounded by the trial's wall budget.
+    if (completed) rt.drain(kTimeInfinity);
+  }
+
+  TrialOutcome extract(Runtime& rt, bool completed) override {
+    TrialOutcome out;
+    if (!completed) {
+      sink_->safety_detail = "no leader before deadline";
+      out.safety_detail = sink_->safety_detail;
+      return out;
+    }
+
+    const RunStats stats = rt.stats();
+    sink_->messages_total = stats.messages_sent;
+    sink_->max_leaders_ever =
+        watch_.leader_count.load(std::memory_order_acquire);
+
+    std::ostringstream detail;
+    std::size_t leaders = 0;
+    std::size_t passives = 0;
+    for (std::size_t i = 0; i < rt.size(); ++i) {
+      const auto& node =
+          static_cast<const PollingElectionNode&>(rt.node(i));
+      if (node.woken()) ++sink_->woken;
+      if (node.state() == PollingState::kLeader) {
+        ++leaders;
+        sink_->rounds = node.round() + 1;
+      } else if (node.state() == PollingState::kPassive) {
+        ++passives;
+      }
+    }
+
+    // Safety proper: the protocol must never mint two leaders, lossy or
+    // not (a RESULT names one winner id and only its holder leads).
+    bool safe = true;
+    if (leaders > 1 || sink_->max_leaders_ever > 1) {
+      safe = false;
+      detail << "more than one leader (" << leaders << " now, "
+             << sink_->max_leaders_ever << " ever); ";
+    }
+
+    // Termination completeness: guaranteed on reliable channels; loss can
+    // strand kPolled nodes behind a dropped RESULT (or unwoken ones behind
+    // a dropped WAKE), which is the injected failure, not an algorithm bug.
+    bool terminated = true;
+    if (leaders != 1) {
+      terminated = false;
+      detail << "expected exactly 1 leader, found " << leaders << "; ";
+    }
+    if (passives != rt.size() - 1) {
+      terminated = false;
+      detail << "expected " << rt.size() - 1 << " passive nodes, found "
+             << passives << "; ";
+    }
+    if (sink_->woken != rt.size()) {
+      terminated = false;
+      detail << "polling incomplete: only " << sink_->woken << " of "
+             << rt.size() << " nodes were woken; ";
+    }
+    if (stats.in_flight() != 0) {
+      terminated = false;
+      detail << stats.in_flight() << " messages still in flight; ";
+    }
+
+    sink_->terminated = terminated;
+    sink_->safety_ok =
+        loss_probability_ == 0.0 ? safe && terminated : safe;
+    sink_->safety_detail = detail.str();
+
+    out.completed = true;
+    out.safety_ok = sink_->safety_ok;
+    out.safety_detail = sink_->safety_detail;
+    out.time = sink_->election_time;
+    out.messages = sink_->messages;
+    return out;
+  }
+
+ private:
+  unsigned id_bits_;
+  double loss_probability_;
+  PollingRunResult* sink_;
+  PollingWatch watch_;
+  std::vector<PollingWiring> wiring_;
+};
+
+}  // namespace
+
+RuntimeConfig polling_runtime_config(const PollingExperiment& experiment) {
+  validate_topology(experiment.topology);
+  RuntimeConfig config;
   config.topology = experiment.topology;
   config.delay = experiment.delay
                      ? experiment.delay
@@ -167,103 +311,20 @@ PollingRunResult run_polling_election(const PollingExperiment& experiment) {
   config.loss_probability = experiment.loss_probability;
   config.seed = experiment.seed;
   config.equeue = experiment.equeue;
+  config.deadline = experiment.deadline;
+  return config;
+}
 
-  struct Watch {
-    std::uint64_t leader_count = 0;
-    std::size_t last_leader = 0;
-    SimTime when = 0.0;
-  } watch;
+std::unique_ptr<AlgorithmDriver> make_polling_driver(
+    const PollingExperiment& experiment, PollingRunResult* sink) {
+  return std::make_unique<PollingDriver>(experiment, sink);
+}
 
-  const std::vector<PollingWiring> wiring =
-      build_polling_wiring(experiment.topology);
-
-  Network net(std::move(config));
-  net.build_nodes([&](std::size_t i) -> NodePtr {
-    PollingOptions options;
-    options.id_bits = experiment.id_bits;
-    options.on_leader = [&watch](NodeId node, SimTime when) {
-      ++watch.leader_count;
-      watch.last_leader = static_cast<std::size_t>(node.value());
-      watch.when = when;
-    };
-    return std::make_unique<PollingElectionNode>(wiring[i],
-                                                 std::move(options));
-  });
-  net.start();
-
+PollingRunResult run_polling_election(const PollingExperiment& experiment) {
   PollingRunResult result;
-  const bool elected = net.run_until(
-      [&] { return watch.leader_count > 0; }, experiment.deadline);
-  if (!elected) {
-    result.safety_detail = "no leader before deadline";
-    return result;
-  }
-
-  result.elected = true;
-  result.leader_index = watch.last_leader;
-  result.election_time = net.now();
-  result.messages = net.metrics().messages_sent;
-
-  // Let the RESULT broadcast drain so the terminal configuration (and any
-  // second leader a bug would produce) is observable. The protocol has no
-  // tick generators and the broadcast sends a bounded message count, so the
-  // queue always drains — no settle window to tune (a timed window would
-  // truncate deep trees: the RESULT descends depth-many channels in
-  // sequence, an Erlang-depth tail).
-  net.run_until_quiescent();
-  result.messages_total = net.metrics().messages_sent;
-  result.max_leaders_ever = watch.leader_count;
-
-  std::ostringstream detail;
-  std::size_t leaders = 0;
-  std::size_t passives = 0;
-  for (std::size_t i = 0; i < net.size(); ++i) {
-    const auto& node = static_cast<const PollingElectionNode&>(net.node(i));
-    if (node.woken()) ++result.woken;
-    if (node.state() == PollingState::kLeader) {
-      ++leaders;
-      result.rounds = node.round() + 1;
-    } else if (node.state() == PollingState::kPassive) {
-      ++passives;
-    }
-  }
-
-  // Safety proper: the protocol must never mint two leaders, lossy or not
-  // (a RESULT names one winner id and only its holder leads).
-  bool safe = true;
-  if (leaders > 1 || watch.leader_count > 1) {
-    safe = false;
-    detail << "more than one leader (" << leaders << " now, "
-           << watch.leader_count << " ever); ";
-  }
-
-  // Termination completeness: guaranteed on reliable channels; loss can
-  // strand kPolled nodes behind a dropped RESULT (or unwoken ones behind a
-  // dropped WAKE), which is the injected failure, not an algorithm bug.
-  bool terminated = true;
-  if (leaders != 1) {
-    terminated = false;
-    detail << "expected exactly 1 leader, found " << leaders << "; ";
-  }
-  if (passives != net.size() - 1) {
-    terminated = false;
-    detail << "expected " << net.size() - 1 << " passive nodes, found "
-           << passives << "; ";
-  }
-  if (result.woken != net.size()) {
-    terminated = false;
-    detail << "polling incomplete: only " << result.woken << " of "
-           << net.size() << " nodes were woken; ";
-  }
-  if (net.metrics().in_flight() != 0) {
-    terminated = false;
-    detail << net.metrics().in_flight() << " messages still in flight; ";
-  }
-
-  result.terminated = terminated;
-  result.safety_ok =
-      experiment.loss_probability == 0.0 ? safe && terminated : safe;
-  result.safety_detail = detail.str();
+  const auto driver = make_polling_driver(experiment, &result);
+  run_algorithm_trial(RuntimeKind::kSim,
+                      polling_runtime_config(experiment), *driver);
   return result;
 }
 

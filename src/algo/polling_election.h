@@ -34,12 +34,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/network.h"
 #include "net/node.h"
 #include "net/spanning_tree.h"
+#include "runtime/runtime.h"
 #include "stats/summary.h"
 
 namespace abe {
@@ -177,7 +179,19 @@ struct PollingRunResult {
 // Runs one polling election on the simulator. Safety postconditions mirror
 // core/harness.h: exactly one leader, everyone else passive, every node
 // woken (the theorem's polling requirement), no messages in flight.
+// (Thin shim over the polling AlgorithmDriver below; seeded results are
+// bit-identical to the pre-Runtime runner.)
 PollingRunResult run_polling_election(const PollingExperiment& experiment);
+
+// The experiment's environment as a runtime-agnostic RuntimeConfig.
+RuntimeConfig polling_runtime_config(const PollingExperiment& experiment);
+
+// The polling election as an AlgorithmDriver (runtime/runtime.h): tree
+// wiring derived from config.topology in configure(), done once a leader
+// exists, post-completion drain to quiescence, full PollingRunResult into
+// `*sink`. One driver instance per trial.
+std::unique_ptr<AlgorithmDriver> make_polling_driver(
+    const PollingExperiment& experiment, PollingRunResult* sink);
 
 struct PollingAggregate {
   Summary messages;

@@ -1,6 +1,7 @@
 #include "core/harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "core/abe.h"
@@ -14,27 +15,157 @@ namespace {
 
 // Watches state changes via the node counters; the run loop polls this
 // through the cheap leader_count below rather than scanning all nodes.
-struct LeaderWatch : ElectionObserver {
-  std::uint64_t leader_count = 0;
-  std::uint64_t max_simultaneous = 0;
-  std::size_t last_leader = 0;
+// Atomics because on the thread runtime on_state_change fires concurrently
+// from node threads; on the simulator the values are identical to the old
+// plain-integer watch. leader_count never decrements, so it doubles as
+// "leaders ever elected" (the max_leaders_ever safety figure).
+struct LeaderWatch final : ElectionObserver {
+  std::atomic<std::uint64_t> leader_count{0};
+  std::atomic<std::uint64_t> last_leader{0};
 
   void on_state_change(NodeId node, ElectionState /*from*/, ElectionState to,
                        SimTime /*when*/) override {
     if (to == ElectionState::kLeader) {
-      ++leader_count;
-      max_simultaneous = std::max(max_simultaneous, leader_count);
-      last_leader = static_cast<std::size_t>(node.value());
+      last_leader.store(static_cast<std::uint64_t>(node.value()),
+                        std::memory_order_relaxed);
+      leader_count.fetch_add(1, std::memory_order_release);
     }
   }
 };
 
+class RingElectionDriver final : public AlgorithmDriver {
+ public:
+  RingElectionDriver(const ElectionExperiment& experiment,
+                     ElectionRunResult* sink)
+      : options_(experiment.election),
+        settle_time_(experiment.settle_time),
+        loss_probability_(experiment.loss_probability),
+        sink_(sink) {
+    ABE_CHECK(sink_ != nullptr);
+    options_.observer = &watch_;
+  }
+
+  void configure(RuntimeConfig& config) override {
+    config.enable_ticks = true;
+  }
+
+  NodePtr make_node(std::size_t /*index*/) override {
+    return std::make_unique<ElectionNode>(options_);
+  }
+
+  bool done(const Runtime& /*rt*/) override {
+    return watch_.leader_count.load(std::memory_order_acquire) > 0;
+  }
+
+  void on_complete(Runtime& rt) override {
+    const RunStats stats = rt.stats();
+    sink_->elected = true;
+    sink_->leader_index = static_cast<std::size_t>(
+        watch_.last_leader.load(std::memory_order_relaxed));
+    sink_->election_time = rt.now();
+    sink_->messages = stats.messages_sent;
+    sink_->ticks = stats.ticks_fired;
+  }
+
+  void settle(Runtime& rt, bool completed) override {
+    // Extra time after the election confirms stability: no second leader
+    // can appear and the network goes quiet.
+    if (completed && settle_time_ > 0.0) rt.run_for(settle_time_);
+  }
+
+  TrialOutcome extract(Runtime& rt, bool completed) override {
+    TrialOutcome out;
+    if (!completed) {
+      sink_->elected = false;
+      sink_->safety_ok = false;
+      sink_->safety_detail = "no leader before deadline";
+      if (rt.kind() == RuntimeKind::kThread) {
+        // Wall-clock timeouts are diagnosed post mortem ("how far did it
+        // get before the budget expired?"), so report the progress
+        // counters; the simulator keeps the historical zeros — failed
+        // trials never feed aggregates there.
+        const RunStats stats = rt.stats();
+        sink_->messages = stats.messages_sent;
+        sink_->messages_total = stats.messages_sent;
+        sink_->ticks = stats.ticks_fired;
+        sink_->election_time = stats.now;
+      }
+      out.safety_detail = sink_->safety_detail;
+      return out;
+    }
+
+    const RunStats stats = rt.stats();
+    sink_->messages_total = stats.messages_sent;
+    sink_->max_leaders_ever =
+        watch_.leader_count.load(std::memory_order_acquire);
+
+    // --- safety postconditions ------------------------------------------
+    std::ostringstream detail;
+    bool ok = true;
+    std::size_t leaders = 0;
+    std::size_t passives = 0;
+    for (std::size_t i = 0; i < rt.size(); ++i) {
+      const auto& node = static_cast<const ElectionNode&>(rt.node(i));
+      sink_->activations += node.activations();
+      sink_->purges += node.purges();
+      switch (node.state()) {
+        case ElectionState::kLeader:
+          ++leaders;
+          break;
+        case ElectionState::kPassive:
+          ++passives;
+          break;
+        default:
+          break;
+      }
+    }
+    if (leaders != 1) {
+      ok = false;
+      detail << "expected exactly 1 leader, found " << leaders << "; ";
+    }
+    if (sink_->max_leaders_ever > 1) {
+      ok = false;
+      detail << "more than one leader was ever elected; ";
+    }
+    if (passives != rt.size() - 1) {
+      ok = false;
+      detail << "expected " << rt.size() - 1 << " passive nodes, found "
+             << passives << "; ";
+    }
+    // Dropped messages mean a token died in the channel — with failure
+    // injection the run can still elect by luck, but quiescence is no
+    // longer token conservation, so only require in-flight == 0 on
+    // lossless runs. Wall-clock runs freeze mid-flight by design, so the
+    // check is simulator-only.
+    if (rt.kind() == RuntimeKind::kSim && loss_probability_ == 0.0 &&
+        stats.in_flight() != 0) {
+      ok = false;
+      detail << stats.in_flight() << " messages still in flight; ";
+    }
+    sink_->safety_ok = ok;
+    sink_->safety_detail = detail.str();
+
+    out.completed = true;
+    out.safety_ok = sink_->safety_ok;
+    out.safety_detail = sink_->safety_detail;
+    out.time = sink_->election_time;
+    out.messages = sink_->messages;
+    return out;
+  }
+
+ private:
+  LeaderWatch watch_;
+  ElectionOptions options_;
+  SimTime settle_time_;
+  double loss_probability_;
+  ElectionRunResult* sink_;
+};
+
 }  // namespace
 
-ElectionRunResult run_election(const ElectionExperiment& experiment) {
+RuntimeConfig election_runtime_config(const ElectionExperiment& experiment) {
   ABE_CHECK_GE(experiment.n, 1u);
-
-  NetworkConfig config;
+  RuntimeConfig config;
   config.topology = unidirectional_ring(experiment.n);
   config.delay = experiment.delay
                      ? experiment.delay
@@ -44,89 +175,24 @@ ElectionRunResult run_election(const ElectionExperiment& experiment) {
   config.clock_bounds = experiment.clock_bounds;
   config.drift = experiment.drift;
   config.processing = experiment.processing;
-  config.enable_ticks = true;
   config.loss_probability = experiment.loss_probability;
   config.seed = experiment.seed;
   config.equeue = experiment.equeue;
+  config.deadline = experiment.deadline;
+  config.trace = experiment.trace;
+  return config;
+}
 
-  Network net(std::move(config));
-  if (experiment.trace) net.trace().enable();
+std::unique_ptr<AlgorithmDriver> make_ring_election_driver(
+    const ElectionExperiment& experiment, ElectionRunResult* sink) {
+  return std::make_unique<RingElectionDriver>(experiment, sink);
+}
 
-  LeaderWatch watch;
-  ElectionOptions options = experiment.election;
-  options.observer = &watch;
-  net.build_nodes([&](std::size_t) -> NodePtr {
-    return std::make_unique<ElectionNode>(options);
-  });
-  net.start();
-
+ElectionRunResult run_election(const ElectionExperiment& experiment) {
   ElectionRunResult result;
-  const bool elected = net.run_until(
-      [&] { return watch.leader_count > 0; }, experiment.deadline);
-
-  if (!elected) {
-    result.elected = false;
-    result.safety_ok = false;
-    result.safety_detail = "no leader before deadline";
-    return result;
-  }
-
-  result.elected = true;
-  result.leader_index = watch.last_leader;
-  result.election_time = net.now();
-  result.messages = net.metrics().messages_sent;
-  result.ticks = net.metrics().ticks_fired;
-
-  // Let the network settle to show no second leader appears and nothing
-  // keeps circulating.
-  if (experiment.settle_time > 0.0) {
-    net.run_until([] { return false; }, net.now() + experiment.settle_time);
-  }
-  result.messages_total = net.metrics().messages_sent;
-  result.max_leaders_ever = watch.max_simultaneous;
-
-  // --- safety postconditions -------------------------------------------
-  std::ostringstream detail;
-  bool ok = true;
-  std::size_t leaders = 0;
-  std::size_t passives = 0;
-  for (std::size_t i = 0; i < net.size(); ++i) {
-    const auto& node = static_cast<const ElectionNode&>(net.node(i));
-    result.activations += node.activations();
-    result.purges += node.purges();
-    switch (node.state()) {
-      case ElectionState::kLeader:
-        ++leaders;
-        break;
-      case ElectionState::kPassive:
-        ++passives;
-        break;
-      default:
-        break;
-    }
-  }
-  if (leaders != 1) {
-    ok = false;
-    detail << "expected exactly 1 leader, found " << leaders << "; ";
-  }
-  if (watch.max_simultaneous > 1) {
-    ok = false;
-    detail << "more than one leader was ever elected; ";
-  }
-  if (passives != net.size() - 1) {
-    ok = false;
-    detail << "expected " << net.size() - 1 << " passive nodes, found "
-           << passives << "; ";
-  }
-  // Dropped messages mean a token died in the channel — with failure
-  // injection the run can still elect by luck, but quiescence is no longer
-  // token conservation, so only require in-flight == 0 on lossless runs.
-  if (experiment.loss_probability == 0.0 && net.metrics().in_flight() != 0) {
-    ok = false;
-    detail << net.metrics().in_flight() << " messages still in flight; ";
-  }
-  result.safety_ok = ok;
-  result.safety_detail = detail.str();
+  const auto driver = make_ring_election_driver(experiment, &result);
+  run_algorithm_trial(RuntimeKind::kSim,
+                      election_runtime_config(experiment), *driver);
   return result;
 }
 
@@ -145,7 +211,7 @@ ElectionAggregate run_election_trials(ElectionExperiment experiment,
                                       std::uint64_t trials,
                                       std::uint64_t seed_base,
                                       unsigned threads) {
-  // Each Network/Scheduler lives entirely inside its trial, so chunk
+  // Each runtime/scheduler lives entirely inside its trial, so chunk
   // workers share nothing but the read-only experiment spec
   // (DelayModel::sample is const and stateless — the rng lives in the
   // network).

@@ -1,17 +1,25 @@
 // Experiment harness for the ring election.
 //
-// One place that builds the unidirectional ring network per the experiment
-// spec, runs the election to completion, verifies the safety postconditions
-// (exactly one leader, everyone else passive, no in-flight messages), and
-// returns the measurements every bench and test consumes.
+// One place that builds the unidirectional ring environment per the
+// experiment spec, runs the election to completion, verifies the safety
+// postconditions (exactly one leader, everyone else passive, no in-flight
+// messages), and returns the measurements every bench and test consumes.
+//
+// Since the Runtime redesign this is a thin shim: the election's execution
+// logic lives in the ring AlgorithmDriver (make_ring_election_driver), which
+// runs unchanged on the simulator AND the real-thread runtime via
+// run_algorithm_trial (runtime/runtime.h). run_election pins the simulator
+// so every seeded result stays bit-identical to the pre-Runtime harness.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "core/election.h"
 #include "net/network.h"
+#include "runtime/runtime.h"
 #include "stats/summary.h"
 
 namespace abe {
@@ -61,6 +69,17 @@ struct ElectionRunResult {
 // Runs one election. Aborts only on internal invariant violations; model
 // level safety results are reported in the result for tests to assert on.
 ElectionRunResult run_election(const ElectionExperiment& experiment);
+
+// The experiment's environment as a runtime-agnostic RuntimeConfig
+// (topology, delay, clocks, loss, seed, deadline; the driver enables ticks).
+RuntimeConfig election_runtime_config(const ElectionExperiment& experiment);
+
+// The ring election as an AlgorithmDriver for run_algorithm_trial: node
+// factory (ElectionNode per slot, shared options + leader observer),
+// done-predicate (a leader exists), settle window, and extraction of the
+// full ElectionRunResult into `*sink`. One driver instance per trial.
+std::unique_ptr<AlgorithmDriver> make_ring_election_driver(
+    const ElectionExperiment& experiment, ElectionRunResult* sink);
 
 struct ElectionAggregate {
   Summary messages;      // per-trial messages until election

@@ -4,6 +4,9 @@
 // interact with the world only through Context. Two runtimes provide
 // Context: the discrete-event simulator (net/network.h) and the real-thread
 // runtime (runtime/thread_net.h), so the same algorithm object runs on both.
+// The `Runtime` contract (runtime/runtime.h) unifies the two behind one
+// lifecycle — algorithms packaged as AlgorithmDrivers execute on either
+// substrate, and the scenario engine sweeps them across both.
 //
 // Anonymity: a node never learns a global identifier through this interface —
 // it sees only its local in/out channel indices — matching the anonymous-ring

@@ -1,0 +1,284 @@
+// The unified Runtime contract: one execution API over both substrates.
+//
+// The paper's ABE model sits *between* pure asynchrony and real networks, so
+// conclusions drawn from the discrete-event simulator should be checkable
+// against a real-thread execution of the very same algorithm code, on the
+// same scenario matrix. This header is that seam:
+//
+//   * RuntimeConfig — the runtime-agnostic experiment environment (topology,
+//     delay model, clock bounds/drift, processing, failure injection, ticks,
+//     seed) plus the per-substrate realisation knobs (equeue backend for the
+//     simulator; wall time scale and budget for threads);
+//   * Runtime — one lifecycle (build nodes → start → run to a completion
+//     predicate or deadline → settle/drain → stop → inspect), implemented by
+//       - SimRuntime    wrapping Scheduler+Network  (net/network.h), and
+//       - ThreadRuntime wrapping ThreadNetwork      (runtime/thread_net.h);
+//   * RunStats — the uniform harvest (messages sent/delivered/dropped, ticks,
+//     clock reading, per-node terminated flags);
+//   * AlgorithmDriver — what an algorithm must provide to run on either
+//     substrate: a node factory, a done-predicate, and result extraction.
+//     run_algorithm_trial() executes a driver on either runtime.
+//
+// Determinism contract: on the simulator the driver lifecycle makes the
+// exact same Network calls the pre-Runtime per-algorithm runners made, so
+// seeded aggregates are bit-identical across the redesign. The thread
+// runtime is wall-clock driven and intentionally nondeterministic — parity
+// there means model-level postconditions (leader uniqueness, dissemination,
+// message counts in the same regime), never traces.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "runtime/thread_net.h"
+
+namespace abe {
+
+// ---------------------------------------------------------------------------
+// Runtime axis
+
+enum class RuntimeKind : std::uint8_t {
+  kSim,     // discrete-event simulator (deterministic, any n)
+  kThread,  // one OS thread per node, wall-clock delays (fidelity check)
+};
+
+const char* runtime_kind_name(RuntimeKind kind);
+// Non-aborting parse of the names printed by runtime_kind_name; returns
+// false on unknown input (the CLI validation boundary).
+bool runtime_kind_from_name(const std::string& name, RuntimeKind* out);
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+// Everything a runtime needs to realise one trial environment. Field-level
+// comments live with the originating structs (NetworkConfig,
+// ThreadNetConfig); this is their union, with substrate-only knobs marked.
+struct RuntimeConfig {
+  Topology topology;
+  DelayModelPtr delay;  // failure-degrade wrapping already applied
+  ChannelOrdering ordering = ChannelOrdering::kArbitrary;  // sim only
+  ClockBounds clock_bounds{};
+  DriftModel drift = DriftModel::kNone;
+  ProcessingModel processing = ProcessingModel::zero();
+  bool enable_ticks = false;
+  double tick_local_period = 1.0;
+  // Per-attempt silent drop (FailureProfile::channel_loss). Both runtimes
+  // honor it and count drops in RunStats.messages_dropped.
+  double loss_probability = 0.0;
+  std::uint64_t seed = 1;
+  // Give up past this simulated time (thread: scaled to a wall budget and
+  // clamped by wall_timeout_ms).
+  SimTime deadline = 1e7;
+  EqueueBackend equeue = EqueueBackend::kAuto;  // sim only
+  bool trace = false;                           // sim only
+  // --- thread-runtime realisation (ignored by the simulator) -------------
+  double time_scale_us = 200.0;     // wall microseconds per sim unit
+  // Hard per-trial wall budget, counted from start(): run_until_done and
+  // drain share it (a stalled run cannot burn the full budget twice).
+  // Settle windows (run_for) are bounded sleeps on top.
+  double wall_timeout_ms = 30000.0;
+};
+
+// ---------------------------------------------------------------------------
+// Uniform harvest
+
+struct RunStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // failure injection
+  std::uint64_t ticks_fired = 0;
+  SimTime now = 0.0;  // runtime clock at the moment of sampling
+  std::vector<bool> terminated;  // per-node snapshot
+
+  // On a RUNNING thread runtime the three counters are sampled by separate
+  // atomic loads — no consistent snapshot — so cross-counter arithmetic
+  // like this can transiently read zero while messages are in flight.
+  // Treat it as exact only after stop() or a successful drain() (which
+  // does the consistent-snapshot dance internally); never build a thread
+  // done-predicate on it.
+  std::uint64_t in_flight() const {
+    const std::uint64_t done = messages_delivered + messages_dropped;
+    return messages_sent > done ? messages_sent - done : 0;
+  }
+};
+
+// Runtime-agnostic outcome of one trial (the scenario engine's trial
+// currency; algorithm-specific detail travels via driver sinks).
+struct TrialOutcome {
+  bool completed = false;   // done-predicate held before the deadline
+  bool safety_ok = false;   // algorithm's safety postconditions
+  std::string safety_detail;
+  SimTime time = 0.0;       // completion time (sim units on both runtimes)
+  std::uint64_t messages = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The contract
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual RuntimeKind kind() const = 0;
+  virtual std::size_t size() const = 0;
+
+  // --- lifecycle (call in this order) -----------------------------------
+  // Installs one node per topology slot, in index order.
+  virtual void build_nodes(
+      const std::function<NodePtr(std::size_t)>& factory) = 0;
+  // Delivers on_start on every node (and first ticks where enabled).
+  virtual void start() = 0;
+  // Runs until `done()` holds or `deadline` (sim units) passes; returns
+  // whether done() held. On the simulator the predicate is checked after
+  // every event; on threads it is re-evaluated on every node-event
+  // completion (condition-variable, no busy polling). Thread predicates run
+  // concurrently with node threads and must only read atomics —
+  // terminated(i) or driver-owned atomic observers; individual RunStats
+  // counters are atomic too, but arithmetic ACROSS them (in_flight) has no
+  // consistent snapshot while running — use drain() for quiescence.
+  virtual bool run_until_done(const std::function<bool()>& done,
+                              SimTime deadline) = 0;
+  // Lets the network run for `duration` more sim units (settle windows).
+  // The thread runtime floors this at kMinSettleWallMs of wall time — OS
+  // scheduling jitter makes shorter windows meaningless there.
+  virtual void run_for(SimTime duration) = 0;
+  // Runs until no messages are in flight or being handled (quiescence for
+  // message-driven protocols; meaningless with tick generators). Returns
+  // whether quiescence was reached within `max_wait` sim units.
+  virtual bool drain(SimTime max_wait) = 0;
+  // Freezes execution. Idempotent. After stop(), node state is safe to
+  // inspect on any runtime and now() stops advancing.
+  virtual void stop() = 0;
+
+  // --- observation -------------------------------------------------------
+  // Global clock in sim units (wall time / time_scale on threads).
+  virtual SimTime now() const = 0;
+  // Race-free per-node terminated flag; safe while running on both
+  // runtimes (atomic on threads).
+  virtual bool terminated(std::size_t i) const = 0;
+  // Node state. Safe any time on the simulator; only after stop() on the
+  // thread runtime (state is owned by the node's thread while running).
+  virtual Node& node(std::size_t i) = 0;
+  virtual RunStats stats() const = 0;
+};
+
+// Minimum wall window ThreadRuntime::run_for realises (see run_for).
+constexpr double kMinSettleWallMs = 100.0;
+
+// Node cap for the thread runtime: one OS thread per node.
+constexpr std::size_t kMaxThreadRuntimeNodes = 256;
+
+// ---------------------------------------------------------------------------
+// Concrete runtimes
+
+class SimRuntime final : public Runtime {
+ public:
+  explicit SimRuntime(RuntimeConfig config);
+
+  RuntimeKind kind() const override { return RuntimeKind::kSim; }
+  std::size_t size() const override { return net_.size(); }
+  void build_nodes(
+      const std::function<NodePtr(std::size_t)>& factory) override;
+  void start() override;
+  bool run_until_done(const std::function<bool()>& done,
+                      SimTime deadline) override;
+  void run_for(SimTime duration) override;
+  bool drain(SimTime max_wait) override;
+  void stop() override {}
+  SimTime now() const override { return net_.now(); }
+  bool terminated(std::size_t i) const override;
+  Node& node(std::size_t i) override { return net_.node(i); }
+  RunStats stats() const override;
+
+  // Escape hatch for simulator-only instrumentation (trace, per-channel
+  // overrides, scheduler introspection).
+  Network& network() { return net_; }
+
+ private:
+  static NetworkConfig to_network_config(RuntimeConfig config);
+  bool trace_ = false;  // declared before net_: read from config pre-move
+  Network net_;
+};
+
+class ThreadRuntime final : public Runtime {
+ public:
+  explicit ThreadRuntime(RuntimeConfig config);
+
+  RuntimeKind kind() const override { return RuntimeKind::kThread; }
+  std::size_t size() const override { return net_.size(); }
+  void build_nodes(
+      const std::function<NodePtr(std::size_t)>& factory) override;
+  void start() override;
+  bool run_until_done(const std::function<bool()>& done,
+                      SimTime deadline) override;
+  void run_for(SimTime duration) override;
+  bool drain(SimTime max_wait) override;
+  void stop() override;
+  SimTime now() const override;
+  bool terminated(std::size_t i) const override { return net_.terminated(i); }
+  Node& node(std::size_t i) override { return net_.node(i); }
+  RunStats stats() const override;
+
+  ThreadNetwork& thread_network() { return net_; }
+
+ private:
+  static ThreadNetConfig to_thread_config(const RuntimeConfig& config);
+  // Wall milliseconds left of the per-trial budget (≥ 1 so waits with an
+  // exhausted budget still poll the predicate once).
+  double remaining_budget_ms() const;
+
+  double time_scale_us_;
+  double wall_timeout_ms_;
+  ThreadNetwork net_;
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  bool started_ = false;
+  bool stopped_ = false;
+  SimTime stop_time_ = 0.0;
+};
+
+// Constructs the runtime for `kind`. Thread-runtime structural limits
+// (piecewise drift, node cap) abort here — gate user input with
+// runtime_cell_problem (scenario/scenario.h) first.
+std::unique_ptr<Runtime> make_runtime(RuntimeKind kind, RuntimeConfig config);
+
+// ---------------------------------------------------------------------------
+// AlgorithmDriver
+
+// What an algorithm contributes to a trial, runtime-agnostic. One driver
+// instance serves exactly one trial (drivers hold per-trial observer state).
+class AlgorithmDriver {
+ public:
+  virtual ~AlgorithmDriver() = default;
+
+  // Adjusts the environment before the runtime is constructed (enable
+  // ticks, derive wiring from config.topology, …).
+  virtual void configure(RuntimeConfig& config) { (void)config; }
+  // Builds the node for topology slot `index`.
+  virtual NodePtr make_node(std::size_t index) = 0;
+  // Completion predicate; see Runtime::run_until_done for the thread-side
+  // thread-safety requirements.
+  virtual bool done(const Runtime& rt) = 0;
+  // Called once, right when done() first held — snapshot completion-moment
+  // measurements (time, message count) here.
+  virtual void on_complete(Runtime& rt) { (void)rt; }
+  // Post-completion settle/drain phase, before stop().
+  virtual void settle(Runtime& rt, bool completed) {
+    (void)rt;
+    (void)completed;
+  }
+  // Harvests the outcome after stop() — node state is frozen here.
+  virtual TrialOutcome extract(Runtime& rt, bool completed) = 0;
+};
+
+// Runs one trial of `driver` on a fresh runtime of `kind`:
+//   configure → build_nodes → start → run_until_done(deadline) →
+//   on_complete (if completed) → settle → stop → extract.
+TrialOutcome run_algorithm_trial(RuntimeKind kind, RuntimeConfig config,
+                                 AlgorithmDriver& driver);
+
+}  // namespace abe

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/election.h"
 #include "util/check.h"
 
 namespace abe {
@@ -30,14 +29,23 @@ class ThreadNetwork::ThreadContext final : public Context {
     Slot& self_slot = net_->slots_[index_];
     const std::size_t edge = net_->out_channels_[index_][out_index];
     const std::size_t to = net_->config_.topology.edges[edge].to;
-    const double delay = net_->config_.delay->sample(self_slot.rng);
 
+    net_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    // Silent loss (failure injection): the message vanishes in transit.
+    // Sent-then-dropped counting mirrors NetworkMetrics, so in-flight
+    // arithmetic (sent - delivered - dropped) works on both runtimes.
+    if (net_->config_.loss_probability > 0.0 &&
+        self_slot.rng.bernoulli(net_->config_.loss_probability)) {
+      net_->messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    const double delay = net_->config_.delay->sample(self_slot.rng);
     MailItem item;
     item.kind = MailItem::Kind::kMessage;
     item.due = net_->sim_to_wall(delay);
     item.in_index = net_->in_index_of_edge_[edge];
     item.payload = std::shared_ptr<const Payload>(payload.release());
-    net_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
     net_->slots_[to].mailbox->push(std::move(item));
   }
 
@@ -83,6 +91,9 @@ ThreadNetwork::ThreadNetwork(ThreadNetConfig config)
   config_.clock_bounds.validate();
   if (!config_.delay) config_.delay = exponential_delay(1.0);
   ABE_CHECK_GT(config_.time_scale_us, 0.0);
+  ABE_CHECK_GE(config_.loss_probability, 0.0);
+  ABE_CHECK_LT(config_.loss_probability, 1.0)
+      << "loss probability 1 would never deliver";
 
   const std::size_t n = config_.topology.n;
   out_channels_ = out_adjacency(config_.topology);
@@ -158,10 +169,24 @@ void ThreadNetwork::start() {
   }
 }
 
+void ThreadNetwork::signal_progress() {
+  // The empty critical section pairs with the wait in wait_until: a
+  // predicate flip made by this thread can never slip between the waiter's
+  // pred() check and its block (classic missed-wakeup fence).
+  { std::lock_guard<std::mutex> lock(progress_mutex_); }
+  progress_cv_.notify_all();
+}
+
 void ThreadNetwork::thread_main(std::size_t index) {
   Slot& slot = slots_[index];
   Context& ctx = *slot.context;
+  active_handlers_.fetch_add(1, std::memory_order_acq_rel);
   slot.node->on_start(ctx);
+  slot.terminated.store(slot.node->is_terminated(),
+                        std::memory_order_release);
+  nodes_started_.fetch_add(1, std::memory_order_acq_rel);
+  active_handlers_.fetch_sub(1, std::memory_order_acq_rel);
+  signal_progress();
 
   // Self-generated ticks: computed from the node's local clock.
   std::uint64_t tick_count = 0;
@@ -182,12 +207,26 @@ void ThreadNetwork::thread_main(std::size_t index) {
 
   MailItem item;
   while (slot.mailbox->pop(item)) {
+    // The handler scope participates in quiescence detection: in-flight can
+    // read 0 while a just-delivered message is still being handled (and may
+    // yet send), so wait_quiescent also requires active_handlers_ == 0.
+    // Ordering matters — the increment must precede messages_delivered_.
+    active_handlers_.fetch_add(1, std::memory_order_acq_rel);
     if (item.kind == MailItem::Kind::kMessage) {
       messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+      // Definition 1(3): handling occupies the node for the sampled time.
+      if (config_.processing.kind != ProcessingModel::Kind::kZero) {
+        const double ptime = config_.processing.sample(slot.rng);
+        if (ptime > 0.0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              static_cast<std::int64_t>(ptime * config_.time_scale_us)));
+        }
+      }
       slot.node->on_message(ctx, item.in_index, *item.payload);
     } else if (item.kind == MailItem::Kind::kTimer) {
       if (item.timer_id == -1) {
         ++tick_count;
+        ticks_fired_.fetch_add(1, std::memory_order_relaxed);
         slot.node->on_tick(ctx, tick_count);
         if (!slot.node->is_terminated()) {
           MailItem tick;
@@ -202,17 +241,50 @@ void ThreadNetwork::thread_main(std::size_t index) {
     }
     slot.terminated.store(slot.node->is_terminated(),
                           std::memory_order_release);
+    active_handlers_.fetch_sub(1, std::memory_order_acq_rel);
+    signal_progress();
   }
 }
 
 bool ThreadNetwork::wait_until(const std::function<bool()>& pred,
                                std::chrono::milliseconds timeout) {
   const auto deadline = MailItem::Clock::now() + timeout;
-  while (MailItem::Clock::now() < deadline) {
-    if (pred()) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  return pred();
+  std::unique_lock<std::mutex> lock(progress_mutex_);
+  return progress_cv_.wait_until(lock, deadline, [&] { return pred(); });
+}
+
+bool ThreadNetwork::wait_quiescent(std::chrono::milliseconds timeout) {
+  return wait_until(
+      [&] {
+        // Freshly spawned threads look quiescent before their on_start has
+        // run (and sent anything), so quiescence starts counting only once
+        // every node came up.
+        if (nodes_started_.load(std::memory_order_acquire) != size()) {
+          return false;
+        }
+        // Consistent-snapshot dance: counters balanced → no handler active
+        // → counters unchanged. The three reads happen at different times,
+        // so each alone can race a node popping the last in-flight message
+        // (delivered++ lands between our reads while its handler, which
+        // may yet send, is still running). The re-read closes that window
+        // for message-driven protocols: a handler active at the middle
+        // read would have bumped `delivered` between the two counter
+        // snapshots (its increment precedes the handler body), and any
+        // message still in a mailbox keeps sent > delivered + dropped in
+        // both snapshots.
+        const std::uint64_t sent1 = messages_sent_.load();
+        const std::uint64_t done1 =
+            messages_delivered_.load() + messages_dropped_.load();
+        if (sent1 != done1) return false;
+        if (active_handlers_.load(std::memory_order_acquire) != 0) {
+          return false;
+        }
+        const std::uint64_t sent2 = messages_sent_.load();
+        const std::uint64_t done2 =
+            messages_delivered_.load() + messages_dropped_.load();
+        return sent2 == sent1 && done2 == done1;
+      },
+      timeout);
 }
 
 void ThreadNetwork::stop() {
@@ -233,56 +305,6 @@ Node& ThreadNetwork::node(std::size_t i) {
 bool ThreadNetwork::terminated(std::size_t i) const {
   ABE_CHECK_LT(i, slots_.size());
   return slots_[i].terminated.load(std::memory_order_acquire);
-}
-
-ThreadedElectionResult run_threaded_election(
-    std::size_t n, double a0, double mean_delay, std::uint64_t seed,
-    double time_scale_us, std::chrono::milliseconds timeout,
-    ClockBounds clock_bounds) {
-  ThreadNetConfig config;
-  config.topology = unidirectional_ring(n);
-  config.delay = exponential_delay(mean_delay);
-  config.time_scale_us = time_scale_us;
-  config.clock_bounds = clock_bounds;
-  config.enable_ticks = true;
-  config.seed = seed;
-
-  ThreadNetwork net(std::move(config));
-  ElectionOptions options;
-  options.a0 = a0;
-  net.build_nodes([&](std::size_t) -> NodePtr {
-    return std::make_unique<ElectionNode>(options);
-  });
-  net.start();
-
-  auto leader_exists = [&] {
-    for (std::size_t i = 0; i < net.size(); ++i) {
-      if (net.terminated(i)) return true;
-    }
-    return false;
-  };
-  ThreadedElectionResult result;
-  result.elected = net.wait_until(leader_exists, timeout);
-  result.election_time_sim = net.now_sim();
-  // Allow in-flight stragglers to settle before freezing the state.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  net.stop();
-
-  result.messages = net.messages_sent();
-  std::size_t leaders = 0;
-  std::size_t passives = 0;
-  for (std::size_t i = 0; i < net.size(); ++i) {
-    const auto& node = static_cast<const ElectionNode&>(net.node(i));
-    if (node.state() == ElectionState::kLeader) {
-      ++leaders;
-      result.leader_index = i;
-    } else if (node.state() == ElectionState::kPassive) {
-      ++passives;
-    }
-  }
-  result.safety_ok =
-      result.elected && leaders == 1 && passives == n - 1;
-  return result;
 }
 
 }  // namespace abe

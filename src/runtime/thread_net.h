@@ -1,25 +1,35 @@
 // Real-thread runtime: one std::thread per node, blocking mailboxes,
-// wall-clock delays.
+// wall-clock delays. This is the substrate behind ThreadRuntime — the
+// real-thread half of the unified Runtime contract (runtime/runtime.h);
+// algorithm code reaches it through the same Node/Context interface the
+// simulator provides, so the exact same node objects run on both.
 //
-// The same Node/Context interface as the simulator, so algorithm code runs
-// unchanged on genuine asynchronous queues. One simulated time unit maps to
-// `time_scale_us` microseconds of wall time; channel delays are sampled from
-// the same DelayModel and realised by due-time enqueueing. Local clocks are
-// wall clocks scaled by a per-node fixed drift rate within the configured
-// bounds — an honest (if small-scale) physical realisation of the ABE model,
-// used as a fidelity check on the simulator's conclusions.
+// One simulated time unit maps to `time_scale_us` microseconds of wall
+// time; channel delays are sampled from the same DelayModel and realised by
+// due-time enqueueing. Local clocks are wall clocks scaled by a per-node
+// fixed drift rate within the configured bounds — an honest (if
+// small-scale) physical realisation of the ABE model, used as a fidelity
+// check on the simulator's conclusions. Failure injection mirrors the
+// simulator: per-attempt silent loss (`loss_probability`, drops counted in
+// messages_dropped()) and congestion-degraded delays (wrap the DelayModel
+// with FailureProfile::apply before handing it in). Definition 1(3)
+// processing time is realised literally: the node's thread sleeps for the
+// sampled handling time before processing a delivered message.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "clock/local_clock.h"
 #include "net/delay.h"
+#include "net/network.h"
 #include "net/node.h"
 #include "net/topology.h"
 #include "runtime/mailbox.h"
@@ -37,6 +47,12 @@ struct ThreadNetConfig {
   // realise — kPiecewiseRandom is rejected).
   ClockBounds clock_bounds{};
   DriftModel drift = DriftModel::kFixedRandomRate;
+  // Definition 1(3): handling a delivered message occupies the node — the
+  // thread sleeps for the sampled time before invoking on_message.
+  ProcessingModel processing = ProcessingModel::zero();
+  // Per-attempt silent drop (failure injection; scenario engine). Dropped
+  // sends still count as sent, mirroring NetworkMetrics.
+  double loss_probability = 0.0;
   bool enable_ticks = false;
   double tick_local_period = 1.0;    // in sim units, on the local clock
   std::uint64_t seed = 1;
@@ -56,10 +72,19 @@ class ThreadNetwork {
   // Spawns the node threads and delivers on_start on each node's thread.
   void start();
 
-  // Blocks until `pred()` holds (polled) or the wall timeout expires.
-  // Returns whether pred() held.
+  // Blocks until `pred()` holds or the wall timeout expires, and returns
+  // whether pred() held. The predicate is re-evaluated on every node-event
+  // completion via condition-variable notification (no busy polling), so a
+  // satisfied predicate returns promptly. It runs concurrently with node
+  // threads and must only read atomics (terminated(i), the message
+  // counters, or caller-owned atomic observers).
   bool wait_until(const std::function<bool()>& pred,
                   std::chrono::milliseconds timeout);
+
+  // Blocks until no message is in flight or being handled (quiescence for
+  // message-driven protocols; meaningless with tick generators or live
+  // timers) or the wall timeout expires. Returns whether quiescence held.
+  bool wait_quiescent(std::chrono::milliseconds timeout);
 
   // Closes all mailboxes and joins all threads. Idempotent; also runs on
   // destruction.
@@ -75,6 +100,8 @@ class ThreadNetwork {
   std::uint64_t messages_delivered() const {
     return messages_delivered_.load();
   }
+  std::uint64_t messages_dropped() const { return messages_dropped_.load(); }
+  std::uint64_t ticks_fired() const { return ticks_fired_.load(); }
   // Wall time since start(), in sim units.
   double now_sim() const;
 
@@ -91,6 +118,8 @@ class ThreadNetwork {
   };
 
   void thread_main(std::size_t index);
+  // Wakes wait_until/wait_quiescent callers after a state change.
+  void signal_progress();
   MailItem::Clock::time_point sim_to_wall(double sim_delay_from_now) const;
 
   ThreadNetConfig config_;
@@ -102,12 +131,24 @@ class ThreadNetwork {
   MailItem::Clock::time_point start_time_{};
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> ticks_fired_{0};
+  // Nodes currently inside an event handler; part of the quiescence
+  // condition (a handler may still send).
+  std::atomic<std::uint64_t> active_handlers_{0};
+  // Nodes whose on_start has completed; quiescence is meaningless before
+  // every node came up (a fresh network has sent nothing yet).
+  std::atomic<std::size_t> nodes_started_{0};
   std::atomic<std::int64_t> next_timer_id_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
+  mutable std::mutex progress_mutex_;
+  std::condition_variable progress_cv_;
 };
 
 // Convenience harness mirroring core/harness.h on the thread runtime.
+// (Thin shim over ThreadRuntime + the ring-election AlgorithmDriver; see
+// runtime/runtime.h.)
 struct ThreadedElectionResult {
   bool elected = false;
   std::size_t leader_index = 0;
@@ -118,10 +159,11 @@ struct ThreadedElectionResult {
 
 // `clock_bounds` realises the drift band on real threads (one fixed rate
 // per node drawn within the bounds); the default is ideal clocks.
+// `loss_probability` injects per-attempt silent message loss.
 ThreadedElectionResult run_threaded_election(
     std::size_t n, double a0, double mean_delay, std::uint64_t seed,
     double time_scale_us = 200.0,
     std::chrono::milliseconds timeout = std::chrono::milliseconds(30000),
-    ClockBounds clock_bounds = {});
+    ClockBounds clock_bounds = {}, double loss_probability = 0.0);
 
 }  // namespace abe

@@ -1,0 +1,185 @@
+#include "scenario/drivers.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "algo/gossip.h"
+#include "algo/polling_election.h"
+#include "core/election.h"
+#include "core/harness.h"
+#include "scenario/sweep.h"
+#include "syncr/apps.h"
+#include "syncr/beta.h"
+#include "util/check.h"
+
+namespace abe {
+
+namespace {
+
+DelayModelPtr build_delay(const ScenarioSpec& spec) {
+  return spec.failure.apply(
+      make_delay_model(spec.delay_name, spec.mean_delay));
+}
+
+// Random topology families re-draw per trial; the substream keeps the graph
+// draw independent of the network's own randomness for the same seed.
+Topology build_trial_topology(const ScenarioSpec& spec, std::uint64_t seed) {
+  Rng rng = Rng(seed).substream("scenario-topology");
+  return spec.topology.build(rng);
+}
+
+ScenarioTrialDriver make_ring_binding(const ScenarioSpec& spec) {
+  ElectionExperiment e;
+  e.n = spec.topology.n;
+  e.election.a0 =
+      spec.a0 > 0.0 ? spec.a0 : linear_regime_a0(spec.topology.n);
+  e.loss_probability = spec.failure.channel_loss();
+  e.settle_time = spec.settle_time;
+
+  auto sink = std::make_shared<ElectionRunResult>();
+  ScenarioTrialDriver binding;
+  binding.driver = make_ring_election_driver(e, sink.get());
+  // The ring driver's outcome already IS its scenario semantics (completed
+  // == elected); the sink capture keeps the result the driver writes into
+  // alive for the driver's lifetime.
+  binding.project = [sink](const TrialOutcome& outcome) { return outcome; };
+  return binding;
+}
+
+ScenarioTrialDriver make_polling_binding(const ScenarioSpec& spec,
+                                         const Topology& topology) {
+  PollingExperiment e;
+  e.topology = topology;
+  e.loss_probability = spec.failure.channel_loss();
+
+  auto sink = std::make_shared<PollingRunResult>();
+  ScenarioTrialDriver binding;
+  binding.driver = make_polling_driver(e, sink.get());
+  binding.project = [sink](const TrialOutcome& outcome) {
+    TrialOutcome out = outcome;
+    // Election alone is not completion: under loss a stranded RESULT
+    // leaves the poll unfinished, and that counts as the injected failure.
+    out.completed = sink->elected && sink->terminated;
+    out.time = sink->election_time;
+    out.messages = sink->messages;
+    return out;
+  };
+  return binding;
+}
+
+ScenarioTrialDriver make_gossip_binding(const ScenarioSpec& spec,
+                                        const Topology& topology) {
+  GossipExperiment e;
+  e.topology = topology;
+  e.loss_probability = spec.failure.channel_loss();
+
+  auto sink = std::make_shared<GossipResult>();
+  ScenarioTrialDriver binding;
+  binding.driver = make_gossip_driver(e, sink.get());
+  // Gossip's driver outcome already IS its scenario semantics: completion
+  // and safety are both total dissemination, time is the spread time.
+  binding.project = [sink](const TrialOutcome& outcome) { return outcome; };
+  return binding;
+}
+
+ScenarioTrialDriver make_beta_sync_binding(const Topology& topology) {
+  // Max consensus with values 0…n−1 converges once the maximum's wavefront
+  // crosses the graph: diameter-many β rounds suffice (≥ 1 for n = 1).
+  const std::uint64_t rounds =
+      std::max<std::size_t>(diameter(topology), 1);
+  std::vector<std::int64_t> values(topology.n);
+  for (std::size_t i = 0; i < topology.n; ++i) {
+    values[i] = static_cast<std::int64_t>(i);
+  }
+
+  // The factory must outlive the driver, which holds it by reference.
+  auto factory =
+      std::make_shared<SyncAppFactory>(max_app_factory(std::move(values)));
+  auto sink = std::make_shared<BetaRunResult>();
+  const std::size_t n = topology.n;
+
+  ScenarioTrialDriver binding;
+  binding.driver = make_beta_sync_driver(*factory, rounds, sink.get());
+  binding.project = [sink, factory, rounds,
+                     n](const TrialOutcome& /*outcome*/) {
+    TrialOutcome out;
+    out.completed = sink->completed;
+    out.time = sink->completion_time;
+    out.messages = sink->messages_total;
+    if (!sink->completed) return out;
+    const auto target = static_cast<std::int64_t>(n - 1);
+    std::size_t converged = 0;
+    for (std::int64_t output : sink->outputs) {
+      if (output == target) ++converged;
+    }
+    out.safety_ok = converged == n;
+    if (!out.safety_ok) {
+      std::ostringstream detail;
+      detail << "only " << converged << " of " << n
+             << " nodes reached the global maximum after " << rounds
+             << " rounds";
+      out.safety_detail = detail.str();
+    }
+    return out;
+  };
+  return binding;
+}
+
+}  // namespace
+
+ScenarioTrialDriver make_scenario_driver(const ScenarioSpec& spec,
+                                         const Topology& topology) {
+  ABE_CHECK(scenario_algorithm_supports(spec.algorithm, spec.topology.family))
+      << scenario_algorithm_name(spec.algorithm) << " cannot run on "
+      << topology_family_name(spec.topology.family);
+  switch (spec.algorithm) {
+    case ScenarioAlgorithm::kRingElection:
+      return make_ring_binding(spec);
+    case ScenarioAlgorithm::kPollingElection:
+      return make_polling_binding(spec, topology);
+    case ScenarioAlgorithm::kGossip:
+      return make_gossip_binding(spec, topology);
+    case ScenarioAlgorithm::kBetaSync:
+      return make_beta_sync_binding(topology);
+  }
+  ABE_CHECK(false) << "unhandled algorithm";
+  return {};
+}
+
+RuntimeConfig scenario_runtime_config(const ScenarioSpec& spec,
+                                      const Topology& topology,
+                                      std::uint64_t seed) {
+  RuntimeConfig config;
+  config.topology = topology;
+  config.delay = build_delay(spec);
+  config.clock_bounds = spec.clock_bounds;
+  config.drift = spec.drift;
+  config.processing = spec.processing;
+  config.loss_probability = spec.failure.channel_loss();
+  config.seed = seed;
+  config.equeue = spec.equeue;
+  config.deadline = spec.deadline;
+  config.time_scale_us = spec.thread_time_scale_us;
+  config.wall_timeout_ms = spec.thread_wall_timeout_ms;
+  return config;
+}
+
+ScenarioTrialResult run_scenario_trial(const ScenarioSpec& spec,
+                                       std::uint64_t seed) {
+  const std::string problem = runtime_cell_problem(spec);
+  ABE_CHECK(problem.empty())
+      << spec.cell_id() << " cannot run on the "
+      << runtime_kind_name(spec.runtime) << " runtime: " << problem;
+
+  // The ring election runs on the unidirectional ring its spec names; all
+  // other algorithms take the materialised (possibly random) graph.
+  const Topology topology = build_trial_topology(spec, seed);
+  ScenarioTrialDriver binding = make_scenario_driver(spec, topology);
+  const TrialOutcome outcome = run_algorithm_trial(
+      spec.runtime, scenario_runtime_config(spec, topology, seed),
+      *binding.driver);
+  return binding.project(outcome);
+}
+
+}  // namespace abe

@@ -311,7 +311,32 @@ std::string ScenarioSpec::cell_id() const {
   if (equeue != EqueueBackend::kAuto) {
     os << "/eq-" << equeue_backend_name(equeue);
   }
+  if (runtime != RuntimeKind::kSim) {
+    os << "/rt-" << runtime_kind_name(runtime);
+  }
   return os.str();
+}
+
+std::string runtime_cell_problem(const ScenarioSpec& spec) {
+  if (spec.runtime == RuntimeKind::kSim) return "";
+  if (spec.drift == DriftModel::kPiecewiseRandom) {
+    return "thread runtime realises clocks as scaled wall time; "
+           "piecewise-random drift is impossible there (use kNone or "
+           "kFixedRandomRate)";
+  }
+  if (spec.equeue != EqueueBackend::kAuto) {
+    return "the event-queue backend is a simulator scheduler knob; thread "
+           "cells must keep equeue=auto";
+  }
+  if (spec.topology.n > kMaxThreadRuntimeNodes) {
+    return "n=" + std::to_string(spec.topology.n) +
+           " exceeds the one-OS-thread-per-node budget (max " +
+           std::to_string(kMaxThreadRuntimeNodes) + ")";
+  }
+  if (spec.thread_time_scale_us <= 0.0 || spec.thread_wall_timeout_ms <= 0.0) {
+    return "thread_time_scale_us and thread_wall_timeout_ms must be > 0";
+  }
+  return "";
 }
 
 std::string ScenarioSpec::describe() const {
@@ -332,7 +357,19 @@ std::string ScenarioSpec::describe() const {
        << "\n";
   }
   os << "equeue   : " << equeue_backend_name(equeue) << "\n"
-     << "trials   : " << default_trials << " (default)\n"
+     << "runtime  : " << runtime_kind_name(runtime) << "\n";
+  // Structural runtime compatibility, mirroring the algorithm×topology
+  // filter: say up front why a thread run of this cell would be rejected
+  // instead of letting the user hit a bare error.
+  {
+    ScenarioSpec threaded = *this;
+    threaded.runtime = RuntimeKind::kThread;
+    const std::string problem = runtime_cell_problem(threaded);
+    os << "thread?  : "
+       << (problem.empty() ? "ok (--runtime thread)" : "rejected — " + problem)
+       << "\n";
+  }
+  os << "trials   : " << default_trials << " (default)\n"
      << "deadline : " << deadline << "\n";
   return os.str();
 }
@@ -475,6 +512,8 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
   if (failure_axis.empty()) failure_axis.push_back(FailureProfile::none());
   std::vector<EqueueBackend> equeue_axis = equeues;
   if (equeue_axis.empty()) equeue_axis.push_back(base.equeue);
+  std::vector<RuntimeKind> runtime_axis = runtimes;
+  if (runtime_axis.empty()) runtime_axis.push_back(base.runtime);
 
   std::vector<ScenarioSpec> cells;
   for (ScenarioAlgorithm algorithm : algorithms) {
@@ -484,18 +523,24 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
         for (const DriftBand& drift : drift_axis) {
           for (const FailureProfile& failure : failure_axis) {
             for (EqueueBackend equeue : equeue_axis) {
-              ScenarioSpec cell = base;
-              cell.name.clear();
-              cell.description = description;
-              cell.algorithm = algorithm;
-              cell.topology = topology;
-              cell.delay_name = delay_name;
-              cell.mean_delay = mean;
-              cell.clock_bounds = drift.bounds;
-              cell.drift = drift.model;
-              cell.failure = failure;
-              cell.equeue = equeue;
-              cells.push_back(std::move(cell));
+              for (RuntimeKind runtime : runtime_axis) {
+                ScenarioSpec cell = base;
+                cell.name.clear();
+                cell.description = description;
+                cell.algorithm = algorithm;
+                cell.topology = topology;
+                cell.delay_name = delay_name;
+                cell.mean_delay = mean;
+                cell.clock_bounds = drift.bounds;
+                cell.drift = drift.model;
+                cell.failure = failure;
+                cell.equeue = equeue;
+                cell.runtime = runtime;
+                // Same silent-filter policy as algorithm×topology: a broad
+                // {sim, thread} axis keeps only its realisable half.
+                if (!runtime_cell_problem(cell).empty()) continue;
+                cells.push_back(std::move(cell));
+              }
             }
           }
         }
@@ -566,6 +611,34 @@ std::vector<ScenarioMatrix> build_sweeps() {
     // Same fail-fast deadline as the ring-lossy scenario: lossy cells can
     // deadlock, and a stuck ring trial ticks until the deadline.
     m.base.deadline = 2e4;
+    sweeps.push_back(std::move(m));
+  }
+
+  // Cross-runtime fidelity sweep: the same election cells on the
+  // deterministic simulator AND on real threads (one OS thread per node,
+  // wall-clock delays), reliable and lossy. The ABE model's claim to sit
+  // between pure asynchrony and real networks is only credible if the two
+  // substrates agree at the model level — leader uniqueness, completion,
+  // message counts in the same regime (bit-level agreement is impossible:
+  // wall-clock runs are nondeterministic by design).
+  {
+    ScenarioMatrix m;
+    m.name = "cross-runtime";
+    m.description =
+        "ring + polling elections x {reliable, lossy} x {sim, thread}";
+    m.algorithms = {ScenarioAlgorithm::kRingElection,
+                    ScenarioAlgorithm::kPollingElection};
+    m.topologies = {TopologySpec{TopologyFamily::kRingUni, 8, 0.0},
+                    TopologySpec{TopologyFamily::kTorus, 9, 0.0}};
+    m.delays = {{"exponential", 1.0}};
+    m.failures = {FailureProfile::none(), FailureProfile::loss(0.01)};
+    m.runtimes = {RuntimeKind::kSim, RuntimeKind::kThread};
+    // Lossy cells can stall (see the failure sweep); fail fast on both
+    // substrates — the sim deadline scales to a ~4 s wall budget per
+    // thread trial, under the 10 s hard cap.
+    m.base.default_trials = 4;
+    m.base.deadline = 2e4;
+    m.base.thread_wall_timeout_ms = 10000.0;
     sweeps.push_back(std::move(m));
   }
 

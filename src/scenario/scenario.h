@@ -29,6 +29,7 @@
 #include "net/delay.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "runtime/runtime.h"
 #include "sim/equeue/backend.h"
 #include "sim/time.h"
 
@@ -153,15 +154,36 @@ struct ScenarioSpec {
   // the scale sweep asserts by running the same cell on all three.
   EqueueBackend equeue = EqueueBackend::kAuto;
 
+  // Execution substrate (runtime/runtime.h): the deterministic simulator
+  // (default) or one OS thread per node with wall-clock delays. Not every
+  // cell is thread-realisable — gate with runtime_cell_problem() before
+  // running; matrix expansion filters structurally impossible combinations
+  // the same way it filters algorithm×topology.
+  RuntimeKind runtime = RuntimeKind::kSim;
+  // Thread-runtime realisation: wall microseconds per sim unit, and the
+  // hard per-trial wall budget (wall-clock runs must not inherit simulator
+  // deadlines like 1e7 units verbatim).
+  double thread_time_scale_us = 200.0;
+  double thread_wall_timeout_ms = 30000.0;
+
   // Stable identifier of this cell within a sweep:
   // "<algorithm>/<topology>/<delay>/<drift>/<failure>", plus a trailing
   // "/eq-<backend>" when a non-default event queue is pinned (so a
   // backend-swept matrix keeps unique ids without disturbing existing
-  // auto-backend ids).
+  // auto-backend ids), plus "/rt-thread" when the cell runs on the thread
+  // runtime (simulator cells keep their pre-runtime-axis ids).
   std::string cell_id() const;
   // Multi-line human rendering for `abe_scenarios describe`.
   std::string describe() const;
 };
+
+// Why this cell cannot run on its selected runtime — empty when it can.
+// Simulator cells always can; thread cells are rejected for piecewise
+// drift (wall clocks can only realise fixed rates), pinned event-queue
+// backends (a simulator-only knob), or n beyond the one-OS-thread-per-node
+// budget (kMaxThreadRuntimeNodes). The validation boundary for user input
+// (CLI --runtime), where aborting is rude; mirrors TopologySpec::problem.
+std::string runtime_cell_problem(const ScenarioSpec& spec);
 
 // ---------------------------------------------------------------------------
 // Registry
@@ -193,9 +215,14 @@ struct ScenarioMatrix {
   // Event-queue backends; empty means {base.equeue}. The scale sweep uses
   // this axis to cross-check bit-identical aggregates at n >= 10^4.
   std::vector<EqueueBackend> equeues;
+  // Execution substrates; empty means {base.runtime}. A {kSim, kThread}
+  // axis runs every realisable cell on both — the cross-runtime fidelity
+  // check the ABE model positions itself for.
+  std::vector<RuntimeKind> runtimes;
 
   // The cross product, minus structurally impossible (algorithm, topology)
-  // pairs. Every returned spec carries a unique cell_id().
+  // pairs and thread cells the thread runtime cannot realise
+  // (runtime_cell_problem). Every returned spec carries a unique cell_id().
   std::vector<ScenarioSpec> expand() const;
 };
 

@@ -4,170 +4,12 @@
 #include <ostream>
 #include <sstream>
 
-#include "algo/gossip.h"
-#include "algo/polling_election.h"
-#include "core/election.h"
-#include "core/harness.h"
 #include "core/trial_pool.h"
+#include "scenario/drivers.h"
 #include "stats/table.h"
-#include "syncr/apps.h"
-#include "syncr/beta.h"
 #include "util/check.h"
 
 namespace abe {
-
-namespace {
-
-DelayModelPtr build_delay(const ScenarioSpec& spec) {
-  return spec.failure.apply(
-      make_delay_model(spec.delay_name, spec.mean_delay));
-}
-
-// Random topology families re-draw per trial; the substream keeps the graph
-// draw independent of the network's own randomness for the same seed.
-Topology build_trial_topology(const ScenarioSpec& spec, std::uint64_t seed) {
-  Rng rng = Rng(seed).substream("scenario-topology");
-  return spec.topology.build(rng);
-}
-
-ScenarioTrialResult run_ring_trial(const ScenarioSpec& spec,
-                                   std::uint64_t seed) {
-  ElectionExperiment e;
-  e.n = spec.topology.n;
-  e.delay = build_delay(spec);
-  e.clock_bounds = spec.clock_bounds;
-  e.drift = spec.drift;
-  e.processing = spec.processing;
-  e.loss_probability = spec.failure.channel_loss();
-  e.election.a0 =
-      spec.a0 > 0.0 ? spec.a0 : linear_regime_a0(spec.topology.n);
-  e.seed = seed;
-  e.equeue = spec.equeue;
-  e.deadline = spec.deadline;
-  e.settle_time = spec.settle_time;
-
-  const ElectionRunResult run = run_election(e);
-  ScenarioTrialResult out;
-  out.completed = run.elected;
-  out.safety_ok = run.safety_ok;
-  out.safety_detail = run.safety_detail;
-  out.time = run.election_time;
-  out.messages = run.messages;
-  return out;
-}
-
-ScenarioTrialResult run_polling_trial(const ScenarioSpec& spec,
-                                      std::uint64_t seed) {
-  PollingExperiment e;
-  e.topology = build_trial_topology(spec, seed);
-  e.delay = build_delay(spec);
-  e.clock_bounds = spec.clock_bounds;
-  e.drift = spec.drift;
-  e.processing = spec.processing;
-  e.loss_probability = spec.failure.channel_loss();
-  e.seed = seed;
-  e.equeue = spec.equeue;
-  e.deadline = spec.deadline;
-
-  const PollingRunResult run = run_polling_election(e);
-  ScenarioTrialResult out;
-  // Election alone is not completion: under loss a stranded RESULT leaves
-  // the poll unfinished, and that counts as the injected failure.
-  out.completed = run.elected && run.terminated;
-  out.safety_ok = run.safety_ok;
-  out.safety_detail = run.safety_detail;
-  out.time = run.election_time;
-  out.messages = run.messages;
-  return out;
-}
-
-ScenarioTrialResult run_gossip_trial(const ScenarioSpec& spec,
-                                     std::uint64_t seed) {
-  GossipExperiment e;
-  e.topology = build_trial_topology(spec, seed);
-  e.delay = build_delay(spec);
-  e.clock_bounds = spec.clock_bounds;
-  e.drift = spec.drift;
-  e.processing = spec.processing;
-  e.loss_probability = spec.failure.channel_loss();
-  e.seed = seed;
-  e.equeue = spec.equeue;
-  e.deadline = spec.deadline;
-
-  const GossipResult run = run_gossip(e);
-  ScenarioTrialResult out;
-  out.completed = run.all_informed;
-  // Gossip's safety postcondition is total dissemination itself.
-  out.safety_ok = run.all_informed;
-  if (!run.all_informed) out.safety_detail = "rumor did not reach everyone";
-  out.time = run.spread_time;
-  out.messages = run.messages;
-  return out;
-}
-
-ScenarioTrialResult run_beta_sync_trial(const ScenarioSpec& spec,
-                                        std::uint64_t seed) {
-  const Topology topology = build_trial_topology(spec, seed);
-  // Max consensus with values 0…n−1 converges once the maximum's wavefront
-  // crosses the graph: diameter-many β rounds suffice (≥ 1 for n = 1).
-  const std::uint64_t rounds =
-      std::max<std::size_t>(diameter(topology), 1);
-  std::vector<std::int64_t> values(topology.n);
-  for (std::size_t i = 0; i < topology.n; ++i) {
-    values[i] = static_cast<std::int64_t>(i);
-  }
-
-  BetaEnvironment environment;
-  environment.clock_bounds = spec.clock_bounds;
-  environment.drift = spec.drift;
-  environment.processing = spec.processing;
-  environment.loss_probability = spec.failure.channel_loss();
-  environment.equeue = spec.equeue;
-  const BetaRunResult run = run_beta_synchronizer(
-      topology, max_app_factory(std::move(values)), rounds,
-      build_delay(spec), seed, spec.deadline, environment);
-
-  ScenarioTrialResult out;
-  out.completed = run.completed;
-  out.time = run.completion_time;
-  out.messages = run.messages_total;
-  if (!run.completed) return out;
-  const auto target = static_cast<std::int64_t>(topology.n - 1);
-  std::size_t converged = 0;
-  for (std::int64_t output : run.outputs) {
-    if (output == target) ++converged;
-  }
-  out.safety_ok = converged == topology.n;
-  if (!out.safety_ok) {
-    std::ostringstream detail;
-    detail << "only " << converged << " of " << topology.n
-           << " nodes reached the global maximum after " << rounds
-           << " rounds";
-    out.safety_detail = detail.str();
-  }
-  return out;
-}
-
-}  // namespace
-
-ScenarioTrialResult run_scenario_trial(const ScenarioSpec& spec,
-                                       std::uint64_t seed) {
-  ABE_CHECK(scenario_algorithm_supports(spec.algorithm, spec.topology.family))
-      << scenario_algorithm_name(spec.algorithm) << " cannot run on "
-      << topology_family_name(spec.topology.family);
-  switch (spec.algorithm) {
-    case ScenarioAlgorithm::kRingElection:
-      return run_ring_trial(spec, seed);
-    case ScenarioAlgorithm::kPollingElection:
-      return run_polling_trial(spec, seed);
-    case ScenarioAlgorithm::kGossip:
-      return run_gossip_trial(spec, seed);
-    case ScenarioAlgorithm::kBetaSync:
-      return run_beta_sync_trial(spec, seed);
-  }
-  ABE_CHECK(false) << "unhandled algorithm";
-  return ScenarioTrialResult{};
-}
 
 void ScenarioAggregate::merge(const ScenarioAggregate& other) {
   messages.merge(other.messages);
@@ -252,13 +94,14 @@ std::string json_escape(const std::string& s) {
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes) {
   os << "{\n"
-     << "  \"schema\": \"abe-scenario-sweep-v2\",\n"
+     << "  \"schema\": \"abe-scenario-sweep-v3\",\n"
      << "  \"metadata\": {\n"
      << "    \"git_sha\": \"" << json_escape(metadata.git_sha) << "\",\n"
      << "    \"compiler\": \"" << json_escape(metadata.compiler) << "\",\n"
      << "    \"build_type\": \"" << json_escape(metadata.build_type)
      << "\",\n"
      << "    \"equeue\": \"" << json_escape(metadata.equeue) << "\",\n"
+     << "    \"runtime\": \"" << json_escape(metadata.runtime) << "\",\n"
      << "    \"trial_threads\": " << metadata.threads << ",\n"
      << "    \"trials\": " << metadata.trials << ",\n"
      << "    \"seed_base\": " << metadata.seed_base << "\n"
@@ -286,6 +129,8 @@ void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
        << "\",\n"
        << "      \"equeue\": \""
        << equeue_backend_name(spec.equeue) << "\",\n"
+       << "      \"runtime\": \""
+       << runtime_kind_name(spec.runtime) << "\",\n"
        << "      \"trials\": " << agg.trials << ",\n"
        << "      \"failures\": " << agg.failures << ",\n"
        << "      \"safety_violations\": " << agg.safety_violations << ",\n"

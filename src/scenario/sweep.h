@@ -9,11 +9,13 @@
 // of the trial seed, so graph randomness is part of the Monte-Carlo estimate
 // and equally reproducible.
 //
-// The JSON document (schema "abe-scenario-sweep-v2") carries the same
+// The JSON document (schema "abe-scenario-sweep-v3") carries the same
 // provenance metadata as the BENCH_*.json perf trajectory — git sha,
-// compiler, build type, thread count, plus the event-queue backend — so
-// sweep results are attributable to a commit, toolchain and scheduler
-// configuration; bench/validate_scenarios.py checks the structure in CI.
+// compiler, build type, thread count, the event-queue backend, plus the
+// execution runtime — so sweep results are attributable to a commit,
+// toolchain, scheduler and substrate; bench/validate_scenarios.py checks
+// the structure (v2 documents, which predate the runtime axis, are still
+// accepted there).
 #pragma once
 
 #include <cstdint>
@@ -22,23 +24,22 @@
 #include <string>
 #include <vector>
 
+#include "runtime/runtime.h"
 #include "scenario/scenario.h"
 #include "stats/summary.h"
 
 namespace abe {
 
-// Outcome of one trial of one cell, algorithm-agnostic.
-struct ScenarioTrialResult {
-  bool completed = false;   // elected / fully informed before the deadline
-  bool safety_ok = false;   // algorithm's safety postconditions
-  std::string safety_detail;
-  SimTime time = 0.0;       // completion time (election / spread)
-  std::uint64_t messages = 0;
-};
+// Outcome of one trial of one cell: the runtime layer's uniform trial
+// currency (completed / safety / time / messages), produced by the
+// registered AlgorithmDriver bindings in scenario/drivers.h.
+using ScenarioTrialResult = TrialOutcome;
 
-// Runs a single trial of `spec` with the given seed. Aborts only on
-// internal invariant violations; model-level outcomes are reported in the
-// result. Random topologies are drawn from a substream of `seed`.
+// Runs a single trial of `spec` with the given seed, on the spec's
+// runtime (simulator or real threads). Aborts only on internal invariant
+// violations — including a spec whose runtime_cell_problem is non-empty;
+// gate user input first. Model-level outcomes are reported in the result.
+// Random topologies are drawn from a substream of `seed`.
 ScenarioTrialResult run_scenario_trial(const ScenarioSpec& spec,
                                        std::uint64_t seed);
 
@@ -74,6 +75,9 @@ struct SweepRunMetadata {
   // CLI-level --equeue selection ("auto" unless overridden); each cell
   // additionally records its own effective backend.
   std::string equeue = "auto";
+  // CLI-level --runtime selection ("sim" unless overridden); each cell
+  // additionally records its own effective runtime.
+  std::string runtime = "sim";
   unsigned threads = 1;         // resolved trial-pool width
   std::uint64_t trials = 0;     // trials per cell (0 = per-spec default)
   std::uint64_t seed_base = 1;
@@ -89,7 +93,7 @@ std::vector<SweepCellOutcome> run_sweep(
     std::uint64_t seed_base = 1, unsigned threads = 0,
     const SweepProgressFn& progress = nullptr);
 
-// Structured per-cell JSON, schema "abe-scenario-sweep-v2".
+// Structured per-cell JSON, schema "abe-scenario-sweep-v3".
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes);
 

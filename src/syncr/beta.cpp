@@ -181,16 +181,73 @@ std::string BetaSyncNode::state_string() const {
   return os.str();
 }
 
-BetaRunResult run_beta_synchronizer(const Topology& topology,
-                                    const SyncAppFactory& factory,
-                                    std::uint64_t rounds,
-                                    const DelayModelPtr& delay,
-                                    std::uint64_t seed, SimTime deadline,
-                                    const BetaEnvironment& environment) {
-  const SpanningTree tree = bfs_spanning_tree(topology, 0);
-  const auto wiring = build_beta_wiring(topology, tree);
+namespace {
 
-  NetworkConfig config;
+class BetaSyncDriver final : public AlgorithmDriver {
+ public:
+  BetaSyncDriver(const SyncAppFactory& factory, std::uint64_t rounds,
+                 BetaRunResult* sink)
+      : factory_(factory), rounds_(rounds), sink_(sink) {
+    ABE_CHECK(sink_ != nullptr);
+    ABE_CHECK(static_cast<bool>(factory_));
+  }
+
+  void configure(RuntimeConfig& config) override {
+    const SpanningTree tree = bfs_spanning_tree(config.topology, 0);
+    wiring_ = build_beta_wiring(config.topology, tree);
+  }
+
+  NodePtr make_node(std::size_t index) override {
+    return std::make_unique<BetaSyncNode>(factory_(index), rounds_,
+                                          wiring_[index]);
+  }
+
+  bool done(const Runtime& rt) override {
+    for (std::size_t i = 0; i < rt.size(); ++i) {
+      if (!rt.terminated(i)) return false;
+    }
+    return true;
+  }
+
+  TrialOutcome extract(Runtime& rt, bool completed) override {
+    const RunStats stats = rt.stats();
+    sink_->completed = completed;
+    sink_->rounds = rounds_;
+    sink_->messages_total = stats.messages_sent;
+    sink_->messages_per_round =
+        static_cast<double>(sink_->messages_total) /
+        static_cast<double>(rounds_);
+    sink_->completion_time = rt.now();
+    sink_->outputs.resize(rt.size());
+    for (std::size_t i = 0; i < rt.size(); ++i) {
+      sink_->outputs[i] =
+          static_cast<const BetaSyncNode&>(rt.node(i)).app().output();
+    }
+
+    TrialOutcome out;
+    out.completed = completed;
+    // The synchronizer itself has no terminal safety predicate; what the
+    // outputs must satisfy is the app's business (callers check them).
+    out.safety_ok = completed;
+    out.time = sink_->completion_time;
+    out.messages = sink_->messages_total;
+    return out;
+  }
+
+ private:
+  const SyncAppFactory& factory_;
+  std::uint64_t rounds_;
+  BetaRunResult* sink_;
+  std::vector<BetaWiring> wiring_;
+};
+
+}  // namespace
+
+RuntimeConfig beta_runtime_config(const Topology& topology,
+                                  const DelayModelPtr& delay,
+                                  std::uint64_t seed, SimTime deadline,
+                                  const BetaEnvironment& environment) {
+  RuntimeConfig config;
   config.topology = topology;
   config.delay = delay;
   config.ordering = ChannelOrdering::kArbitrary;
@@ -200,34 +257,28 @@ BetaRunResult run_beta_synchronizer(const Topology& topology,
   config.loss_probability = environment.loss_probability;
   config.seed = seed;
   config.equeue = environment.equeue;
+  config.deadline = deadline;
+  return config;
+}
 
-  Network net(std::move(config));
-  net.build_nodes([&](std::size_t i) -> NodePtr {
-    return std::make_unique<BetaSyncNode>(factory(i), rounds, wiring[i]);
-  });
-  net.start();
+std::unique_ptr<AlgorithmDriver> make_beta_sync_driver(
+    const SyncAppFactory& factory, std::uint64_t rounds,
+    BetaRunResult* sink) {
+  return std::make_unique<BetaSyncDriver>(factory, rounds, sink);
+}
 
-  auto all_done = [&] {
-    for (std::size_t i = 0; i < net.size(); ++i) {
-      if (!net.node(i).is_terminated()) return false;
-    }
-    return true;
-  };
-  const bool completed = net.run_until(all_done, deadline);
-
+BetaRunResult run_beta_synchronizer(const Topology& topology,
+                                    const SyncAppFactory& factory,
+                                    std::uint64_t rounds,
+                                    const DelayModelPtr& delay,
+                                    std::uint64_t seed, SimTime deadline,
+                                    const BetaEnvironment& environment) {
   BetaRunResult result;
-  result.completed = completed;
-  result.rounds = rounds;
-  result.messages_total = net.metrics().messages_sent;
-  result.messages_per_round =
-      static_cast<double>(result.messages_total) /
-      static_cast<double>(rounds);
-  result.completion_time = net.now();
-  result.outputs.resize(net.size());
-  for (std::size_t i = 0; i < net.size(); ++i) {
-    result.outputs[i] =
-        static_cast<const BetaSyncNode&>(net.node(i)).app().output();
-  }
+  const auto driver = make_beta_sync_driver(factory, rounds, &result);
+  run_algorithm_trial(
+      RuntimeKind::kSim,
+      beta_runtime_config(topology, delay, seed, deadline, environment),
+      *driver);
   return result;
 }
 

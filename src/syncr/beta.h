@@ -15,11 +15,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "net/network.h"
 #include "net/node.h"
 #include "net/spanning_tree.h"
+#include "runtime/runtime.h"
 #include "syncr/sync_app.h"
 
 namespace abe {
@@ -119,7 +121,9 @@ struct BetaEnvironment {
   EqueueBackend equeue = EqueueBackend::kAuto;
 };
 
-// Runs the app under the β-synchronizer (tree rooted at node 0).
+// Runs the app under the β-synchronizer (tree rooted at node 0). (Thin
+// shim over the β AlgorithmDriver below; seeded results are bit-identical
+// to the pre-Runtime runner.)
 BetaRunResult run_beta_synchronizer(const Topology& topology,
                                     const SyncAppFactory& factory,
                                     std::uint64_t rounds,
@@ -127,5 +131,19 @@ BetaRunResult run_beta_synchronizer(const Topology& topology,
                                     std::uint64_t seed = 1,
                                     SimTime deadline = 1e9,
                                     const BetaEnvironment& environment = {});
+
+// The β environment as a runtime-agnostic RuntimeConfig.
+RuntimeConfig beta_runtime_config(const Topology& topology,
+                                  const DelayModelPtr& delay,
+                                  std::uint64_t seed, SimTime deadline,
+                                  const BetaEnvironment& environment);
+
+// The β-synchronized app as an AlgorithmDriver (runtime/runtime.h): tree
+// wiring derived from config.topology in configure(), done once every node
+// finished its `rounds` rounds (terminated flags — race-free on both
+// runtimes), full BetaRunResult into `*sink`. One driver per trial.
+std::unique_ptr<AlgorithmDriver> make_beta_sync_driver(
+    const SyncAppFactory& factory, std::uint64_t rounds,
+    BetaRunResult* sink);
 
 }  // namespace abe

@@ -1,14 +1,21 @@
-// Tests for the real-thread runtime: mailbox semantics and an end-to-end
-// threaded election (the "threads and queues" realisation of the ABE model).
+// Tests for the real-thread runtime: mailbox semantics, end-to-end threaded
+// elections (the "threads and queues" realisation of the ABE model), thread
+// failure injection, condition-variable wakeups, and the cross-runtime
+// parity suite over the unified Runtime contract (runtime/runtime.h).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "core/harness.h"
 #include "runtime/mailbox.h"
+#include "runtime/runtime.h"
 #include "runtime/thread_net.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
+#include "stats/summary.h"
 
 namespace abe {
 namespace {
@@ -175,6 +182,202 @@ TEST(ThreadNet, DriftBandParityWithSimulatorOnSmallRing) {
   EXPECT_GE(sim_result.messages, kN);
   EXPECT_GE(threaded.messages, kN);
 }
+
+// ---------------------------------------------------------------------
+// Condition-variable wakeups (wait_until must not busy-poll)
+
+// Terminates when its one local timer fires.
+class TimerTerminator final : public Node {
+ public:
+  explicit TimerTerminator(double local_delay) : local_delay_(local_delay) {}
+  void on_start(Context& ctx) override {
+    ctx.set_timer_local(local_delay_, 0);
+  }
+  void on_message(Context&, std::size_t, const Payload&) override {}
+  void on_timer(Context&, TimerId, std::uint64_t) override { done_ = true; }
+  bool is_terminated() const override { return done_; }
+
+ private:
+  double local_delay_;
+  bool done_ = false;
+};
+
+ThreadNetConfig two_node_config(double time_scale_us = 1000.0) {
+  ThreadNetConfig config;
+  config.topology = bidirectional_ring(2);
+  config.time_scale_us = time_scale_us;
+  config.drift = DriftModel::kNone;
+  return config;
+}
+
+TEST(ThreadNet, WaitUntilAlreadyTruePredicateReturnsImmediately) {
+  ThreadNetwork net(two_node_config());
+  net.build_nodes([](std::size_t) -> NodePtr {
+    return std::make_unique<TimerTerminator>(1e9);
+  });
+  net.start();
+  const auto start = MailItem::Clock::now();
+  EXPECT_TRUE(net.wait_until([] { return true; },
+                             std::chrono::milliseconds(60000)));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      MailItem::Clock::now() - start);
+  EXPECT_LT(waited.count(), 1000);
+}
+
+// The regression the condition variable fixes: a predicate satisfied by a
+// node event must wake the waiter promptly, not after the wall timeout.
+TEST(ThreadNet, WaitUntilSatisfiedMidWaitReturnsPromptly) {
+  ThreadNetwork net(two_node_config());
+  net.build_nodes([](std::size_t) -> NodePtr {
+    // Timer fires at ~50 ms wall (50 sim units at 1000 us/unit).
+    return std::make_unique<TimerTerminator>(50.0);
+  });
+  net.start();
+  const auto start = MailItem::Clock::now();
+  const bool held = net.wait_until(
+      [&] { return net.terminated(0) && net.terminated(1); },
+      std::chrono::milliseconds(60000));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      MailItem::Clock::now() - start);
+  EXPECT_TRUE(held);
+  // Generous bound — the point is "well under the 60 s timeout", immune to
+  // CI scheduling noise.
+  EXPECT_LT(waited.count(), 5000);
+}
+
+// ---------------------------------------------------------------------
+// Failure injection on real threads
+
+// Sends `count` messages to its successor in on_start, then idles.
+class Flooder final : public Node {
+ public:
+  explicit Flooder(std::uint64_t count) : count_(count) {}
+  void on_start(Context& ctx) override {
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      ctx.send(0, std::make_unique<IntPayload>(static_cast<std::int64_t>(i)));
+    }
+  }
+  void on_message(Context&, std::size_t, const Payload&) override {}
+
+ private:
+  std::uint64_t count_;
+};
+
+TEST(ThreadNet, LossInjectionCountsDropsAndConservesMessages) {
+  ThreadNetConfig config = two_node_config(/*time_scale_us=*/100.0);
+  config.loss_probability = 0.3;
+  config.delay = fixed_delay(0.1);
+  ThreadNetwork net(std::move(config));
+  net.build_nodes([](std::size_t i) -> NodePtr {
+    return std::make_unique<Flooder>(i == 0 ? 400 : 0);
+  });
+  net.start();
+  ASSERT_TRUE(net.wait_quiescent(std::chrono::milliseconds(10000)));
+  net.stop();
+
+  EXPECT_EQ(net.messages_sent(), 400u);
+  EXPECT_GT(net.messages_dropped(), 0u) << "p=0.3 over 400 sends";
+  EXPECT_LT(net.messages_dropped(), 400u);
+  EXPECT_EQ(net.messages_sent(),
+            net.messages_delivered() + net.messages_dropped());
+}
+
+// ---------------------------------------------------------------------
+// Cross-runtime parity suite (the Runtime-contract acceptance): the same
+// scenario cell on the simulator and on real threads must agree at the
+// model level — every completed trial satisfies the algorithm's safety
+// postconditions (leader uniqueness), and message counts land in the same
+// regime. Wall-clock runs are nondeterministic by design, so lossy cells
+// may legitimately fail trials (a dropped WAKE stalls polling); what they
+// must never do is mint two leaders.
+
+struct ParityCase {
+  const char* name;
+  ScenarioAlgorithm algorithm;
+  double loss;
+};
+
+class CrossRuntimeParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(CrossRuntimeParity, CompletedTrialsAreSafeAndMessagesComparable) {
+  const ParityCase& c = GetParam();
+
+  ScenarioSpec spec;
+  spec.algorithm = c.algorithm;
+  spec.topology = c.algorithm == ScenarioAlgorithm::kRingElection
+                      ? TopologySpec{TopologyFamily::kRingUni, 6, 0.0}
+                      : TopologySpec{TopologyFamily::kTorus, 9, 0.0};
+  spec.failure = c.loss > 0.0 ? FailureProfile::loss(c.loss)
+                              : FailureProfile::none();
+  spec.settle_time = 5.0;
+  // Lossy cells can stall; fail fast on both substrates (cf. the failure
+  // sweep). 2e4 units at 100 us/unit is a 2 s wall budget per trial.
+  spec.deadline = 2e4;
+  spec.thread_time_scale_us = 100.0;
+  spec.thread_wall_timeout_ms = 10000.0;
+
+  const std::size_t n = spec.topology.n;
+
+  // Simulator side: deterministic, several seeds.
+  Summary sim_messages;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    spec.runtime = RuntimeKind::kSim;
+    const ScenarioTrialResult trial = run_scenario_trial(spec, seed);
+    if (!trial.completed) {
+      ASSERT_GT(c.loss, 0.0) << "reliable sim trial missed its deadline";
+      continue;
+    }
+    EXPECT_TRUE(trial.safety_ok) << "seed=" << seed << ": "
+                                 << trial.safety_detail;
+    EXPECT_GE(trial.messages, n - 1);
+    sim_messages.add(static_cast<double>(trial.messages));
+  }
+
+  // Thread side: two wall-clock trials.
+  Summary thread_messages;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    spec.runtime = RuntimeKind::kThread;
+    ASSERT_EQ(runtime_cell_problem(spec), "");
+    const ScenarioTrialResult trial = run_scenario_trial(spec, seed);
+    if (!trial.completed) {
+      ASSERT_GT(c.loss, 0.0) << "reliable thread trial did not complete";
+      continue;
+    }
+    EXPECT_TRUE(trial.safety_ok) << "seed=" << seed << ": "
+                                 << trial.safety_detail;
+    EXPECT_GE(trial.messages, n - 1);
+    thread_messages.add(static_cast<double>(trial.messages));
+  }
+
+  if (c.loss == 0.0) {
+    // Reliable cells must complete everywhere.
+    EXPECT_EQ(sim_messages.count(), 6u);
+    EXPECT_EQ(thread_messages.count(), 2u);
+  }
+  if (sim_messages.count() > 0 && thread_messages.count() > 0) {
+    // Same algorithm, same graph, same model regime: per-trial message
+    // aggregates agree within an order of magnitude (the election is
+    // stochastic and wall scheduling differs; bit-equality is impossible).
+    const double ratio = thread_messages.mean() / sim_messages.mean();
+    EXPECT_GT(ratio, 0.1) << "thread mean " << thread_messages.mean()
+                          << " vs sim mean " << sim_messages.mean();
+    EXPECT_LT(ratio, 10.0) << "thread mean " << thread_messages.mean()
+                           << " vs sim mean " << sim_messages.mean();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RingAndPolling, CrossRuntimeParity,
+    ::testing::Values(
+        ParityCase{"ring_reliable", ScenarioAlgorithm::kRingElection, 0.0},
+        ParityCase{"ring_lossy", ScenarioAlgorithm::kRingElection, 0.01},
+        ParityCase{"polling_reliable", ScenarioAlgorithm::kPollingElection,
+                   0.0},
+        ParityCase{"polling_lossy", ScenarioAlgorithm::kPollingElection,
+                   0.01}),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      return std::string(info.param.name);
+    });
 
 }  // namespace
 }  // namespace abe

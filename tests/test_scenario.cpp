@@ -193,6 +193,94 @@ TEST(ScenarioMatrix, ExpansionFiltersImpossiblePairsSilently) {
   EXPECT_EQ(cells[0].topology.family, TopologyFamily::kRingUni);
 }
 
+// --- runtime axis ---------------------------------------------------------
+
+TEST(RuntimeAxis, CellIdCarriesThreadSuffixOnlyForThreadCells) {
+  ScenarioSpec spec;
+  const std::string sim_id = spec.cell_id();
+  EXPECT_EQ(sim_id.find("/rt-"), std::string::npos)
+      << "simulator cells keep their pre-runtime-axis ids";
+  spec.runtime = RuntimeKind::kThread;
+  EXPECT_EQ(spec.cell_id(), sim_id + "/rt-thread");
+}
+
+TEST(RuntimeAxis, ProblemsAreStructuralAndNamedWithoutAborting) {
+  ScenarioSpec spec;
+  EXPECT_EQ(runtime_cell_problem(spec), "") << "the simulator runs anything";
+
+  spec.runtime = RuntimeKind::kThread;
+  EXPECT_EQ(runtime_cell_problem(spec), "");
+
+  spec.drift = DriftModel::kPiecewiseRandom;
+  EXPECT_NE(runtime_cell_problem(spec), "")
+      << "wall clocks cannot wander piecewise";
+  spec.drift = DriftModel::kNone;
+
+  spec.equeue = EqueueBackend::kLadder;
+  EXPECT_NE(runtime_cell_problem(spec), "")
+      << "the event queue is a simulator knob";
+  spec.equeue = EqueueBackend::kAuto;
+
+  spec.topology.n = kMaxThreadRuntimeNodes + 1;
+  EXPECT_NE(runtime_cell_problem(spec), "")
+      << "one OS thread per node has a budget";
+  spec.topology.n = 8;
+  EXPECT_EQ(runtime_cell_problem(spec), "");
+}
+
+TEST(RuntimeAxis, DescribeNamesThreadCompatibilityPerCell) {
+  const ScenarioSpec* lossy = find_scenario("ring-lossy");
+  ASSERT_NE(lossy, nullptr);
+  EXPECT_NE(lossy->describe().find("thread?  : ok"), std::string::npos);
+
+  // sensor-network pins piecewise drift, which threads cannot realise; the
+  // describe output must say why instead of leaving a bare rejection.
+  const ScenarioSpec* sensor = find_scenario("sensor-network");
+  ASSERT_NE(sensor, nullptr);
+  EXPECT_NE(sensor->describe().find("thread?  : rejected"),
+            std::string::npos);
+  EXPECT_NE(sensor->describe().find("piecewise"), std::string::npos);
+}
+
+TEST(RuntimeAxis, MatrixFiltersUnrealisableThreadCellsSilently) {
+  ScenarioMatrix m;
+  m.algorithms = {ScenarioAlgorithm::kRingElection};
+  m.topologies = {
+      TopologySpec{TopologyFamily::kRingUni, 8, 0.0},
+      TopologySpec{TopologyFamily::kRingUni, kMaxThreadRuntimeNodes + 1,
+                   0.0}};
+  m.delays = {{"exponential", 1.0}};
+  m.runtimes = {RuntimeKind::kSim, RuntimeKind::kThread};
+  const auto cells = m.expand();
+  // n=8 expands to both substrates; the oversized ring keeps sim only.
+  ASSERT_EQ(cells.size(), 3u);
+  std::size_t thread_cells = 0;
+  for (const ScenarioSpec& cell : cells) {
+    if (cell.runtime == RuntimeKind::kThread) {
+      ++thread_cells;
+      EXPECT_EQ(cell.topology.n, 8u);
+    }
+    EXPECT_EQ(runtime_cell_problem(cell), "") << cell.cell_id();
+  }
+  EXPECT_EQ(thread_cells, 1u);
+}
+
+TEST(RuntimeAxis, CrossRuntimeSweepPairsEveryCellAcrossSubstrates) {
+  const ScenarioMatrix* m = find_sweep("cross-runtime");
+  ASSERT_NE(m, nullptr);
+  const auto cells = m->expand();
+  ASSERT_FALSE(cells.empty());
+  std::set<std::string> ids;
+  std::size_t thread_cells = 0;
+  for (const ScenarioSpec& cell : cells) {
+    EXPECT_TRUE(ids.insert(cell.cell_id()).second)
+        << "duplicate cell " << cell.cell_id();
+    if (cell.runtime == RuntimeKind::kThread) ++thread_cells;
+  }
+  // Every cell is realisable on both substrates, so the axis doubles it.
+  EXPECT_EQ(thread_cells * 2, cells.size());
+}
+
 TEST(TopologySpecProblem, FlagsBadSizesWithoutAborting) {
   EXPECT_EQ((TopologySpec{TopologyFamily::kHypercube, 64, 0.0}).problem(),
             "");
@@ -263,13 +351,14 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   std::ostringstream os;
   write_sweep_json(os, meta, outcomes);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v2\""),
+  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v3\""),
             std::string::npos);
   EXPECT_NE(json.find("\"git_sha\": \"cafe123\""), std::string::npos);
   EXPECT_NE(json.find("\"trial_threads\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"cell\": \"polling/torus-9/exponential/ideal/none\""),
             std::string::npos);
   EXPECT_NE(json.find("\"equeue\": \"auto\""), std::string::npos);
+  EXPECT_NE(json.find("\"runtime\": \"sim\""), std::string::npos);
   EXPECT_NE(json.find("\"safety_violations\": 0"), std::string::npos);
   // Balanced braces: cheap structural sanity (CI runs the real validator,
   // bench/validate_scenarios.py, on emitted files).
