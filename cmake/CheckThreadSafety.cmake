@@ -1,0 +1,57 @@
+# Configure-time regression gate for clang's thread-safety analysis.
+#
+# Two try_compile probes against src/util/thread_annotations.h:
+#   - thread_safety_good.cpp: takes the lock before touching a GUARDED_BY
+#     field. MUST compile — otherwise the annotation macros themselves are
+#     broken (or the flags are wrong) and every annotated TU would fail.
+#   - thread_safety_bad.cpp: touches the same field without the lock.
+#     MUST FAIL to compile under -Werror=thread-safety — this is the
+#     negative case that proves the analysis is actually live. If the
+#     macros ever degrade to no-ops under clang (e.g. a guard-condition
+#     typo in thread_annotations.h), this probe starts compiling and the
+#     configure aborts.
+#
+# Only included for Clang/AppleClang; GCC ignores the attributes by design.
+
+set(_abe_ts_probe_dir "${CMAKE_CURRENT_LIST_DIR}/probes")
+set(_abe_ts_flags "-Wthread-safety;-Werror=thread-safety")
+
+try_compile(ABE_TS_GOOD_COMPILES
+  ${CMAKE_BINARY_DIR}/check_thread_safety_good
+  ${_abe_ts_probe_dir}/thread_safety_good.cpp
+  COMPILE_DEFINITIONS "${_abe_ts_flags}"
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+    "-DCMAKE_CXX_STANDARD=17"
+  OUTPUT_VARIABLE _abe_ts_good_output)
+
+if(NOT ABE_TS_GOOD_COMPILES)
+  message(FATAL_ERROR
+    "Thread-safety probe failure: the LOCKED access probe "
+    "(cmake/probes/thread_safety_good.cpp) does not compile under "
+    "-Werror=thread-safety. The annotation macros in "
+    "src/util/thread_annotations.h are likely broken for this compiler.\n"
+    "Compiler output:\n${_abe_ts_good_output}")
+endif()
+
+try_compile(ABE_TS_BAD_COMPILES
+  ${CMAKE_BINARY_DIR}/check_thread_safety_bad
+  ${_abe_ts_probe_dir}/thread_safety_bad.cpp
+  COMPILE_DEFINITIONS "${_abe_ts_flags}"
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+    "-DCMAKE_CXX_STANDARD=17"
+  OUTPUT_VARIABLE _abe_ts_bad_output)
+
+if(ABE_TS_BAD_COMPILES)
+  message(FATAL_ERROR
+    "Thread-safety probe failure: the UNLOCKED access probe "
+    "(cmake/probes/thread_safety_bad.cpp) compiled cleanly, meaning "
+    "-Wthread-safety is not rejecting GUARDED_BY violations. Check that "
+    "src/util/thread_annotations.h still expands to real "
+    "__attribute__((...)) annotations under clang.")
+endif()
+
+message(STATUS
+  "Thread-safety analysis verified: locked probe compiles, "
+  "unlocked probe rejected")

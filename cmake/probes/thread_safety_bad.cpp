@@ -1,0 +1,25 @@
+// Negative thread-safety probe: an UNLOCKED access to a GUARDED_BY field.
+// This must FAIL to compile under -Werror=thread-safety — if it ever
+// compiles, the analysis has gone dead (see cmake/CheckThreadSafety.cmake,
+// which aborts the configure in that case).
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Deliberate violation: no lock held while writing value_.
+  void bump() { ++value_; }
+
+ private:
+  abe::AnnotatedMutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}

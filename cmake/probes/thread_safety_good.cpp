@@ -1,0 +1,32 @@
+// Positive thread-safety probe: a correctly locked access to a GUARDED_BY
+// field. This must compile under -Werror=thread-safety; see
+// cmake/CheckThreadSafety.cmake. Mirrors the locking idiom used by
+// runtime/mailbox.cpp (MutexLock scoped guard).
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() EXCLUDES(mutex_) {
+    abe::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int value() EXCLUDES(mutex_) {
+    abe::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  abe::AnnotatedMutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return counter.value();
+}

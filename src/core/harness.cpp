@@ -18,7 +18,12 @@ namespace {
 // Atomics because on the thread runtime on_state_change fires concurrently
 // from node threads; on the simulator the values are identical to the old
 // plain-integer watch. leader_count never decrements, so it doubles as
-// "leaders ever elected" (the max_leaders_ever safety figure).
+// "leaders ever elected" (the max_leaders_ever safety figure). Lock-free by
+// design — a driver observer runs inside node event handlers, so a mutex
+// here would serialise the runtime; any future non-atomic observer state
+// must move behind an AnnotatedMutex with GUARDED_BY annotations
+// (util/thread_annotations.h) to keep the TSan job and -Wthread-safety
+// meaningful.
 struct LeaderWatch final : ElectionObserver {
   std::atomic<std::uint64_t> leader_count{0};
   std::atomic<std::uint64_t> last_leader{0};

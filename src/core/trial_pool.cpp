@@ -7,6 +7,10 @@ namespace abe {
 
 unsigned resolve_trial_threads(unsigned threads) {
   if (threads != 0) return threads;
+  // Config plumbing (allowlisted in tools/lint/abe_lint.py): read once on
+  // the caller's thread before any worker spawns, never concurrently with
+  // setenv. NOLINT: concurrency-mt-unsafe flags getenv wholesale.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("ABE_TRIAL_THREADS")) {
     char* end = nullptr;
     const unsigned long v = std::strtoul(env, &end, 10);

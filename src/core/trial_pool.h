@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace abe {
 
@@ -69,7 +70,13 @@ Aggregate run_seed_chunked_trials(std::uint64_t trials,
   std::vector<Aggregate> partial(chunks);
   {
     // Workers share nothing but the read-only closure state; each trial's
-    // randomness derives from its seed alone.
+    // randomness derives from its seed alone. This is why the pool carries
+    // no AnnotatedMutex (util/thread_annotations.h): the only shared
+    // mutable word is the `next` chunk counter (atomic), every partial[c]
+    // is written by exactly the worker that claimed chunk c, and join()
+    // publishes all of them to the merge loop below. Any future shared
+    // mutable state here must be an atomic or a GUARDED_BY-annotated field
+    // behind an AnnotatedMutex — the TSan CI job runs this pool's suites.
     std::atomic<std::uint64_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(workers);

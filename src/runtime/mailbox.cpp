@@ -6,7 +6,7 @@ namespace abe {
 
 void Mailbox::push(MailItem item) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     item.sequence = next_sequence_++;
     queue_.push(std::move(item));
   }
@@ -14,7 +14,7 @@ void Mailbox::push(MailItem item) {
 }
 
 bool Mailbox::pop(MailItem& out) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     // Drop cancelled timers eagerly while they are at the front.
     while (!queue_.empty() && queue_.top().kind == MailItem::Kind::kTimer &&
@@ -27,7 +27,7 @@ bool Mailbox::pop(MailItem& out) {
     }
     if (queue_.empty()) {
       if (closed_) return false;
-      cv_.wait(lock);
+      cv_.wait(mutex_);
       continue;
     }
     const auto now = MailItem::Clock::now();
@@ -36,13 +36,19 @@ bool Mailbox::pop(MailItem& out) {
       queue_.pop();
       return out.kind != MailItem::Kind::kStop;
     }
-    cv_.wait_until(lock, queue_.top().due);
+    // Copy the deadline out of the queue before waiting: wait_until takes
+    // it by const reference and releases mutex_ for the duration of the
+    // wait, so a reference into the priority_queue's vector would dangle
+    // the moment a concurrent push() reallocates it (TSan-caught
+    // use-after-free).
+    const auto deadline = queue_.top().due;
+    cv_.wait_until(mutex_, deadline);
   }
 }
 
 void Mailbox::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
     MailItem stop;
     stop.kind = MailItem::Kind::kStop;
@@ -54,12 +60,12 @@ void Mailbox::close() {
 }
 
 void Mailbox::cancel_timer(std::int64_t timer_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   cancelled_timers_.push_back(timer_id);
 }
 
 std::size_t Mailbox::approximate_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 

@@ -7,14 +7,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <vector>
 
 #include "net/message.h"
+#include "util/thread_annotations.h"
 
 namespace abe {
 
@@ -40,19 +39,19 @@ class Mailbox {
   Mailbox& operator=(const Mailbox&) = delete;
 
   // Enqueues an item (producer side). Safe from any thread.
-  void push(MailItem item);
+  void push(MailItem item) EXCLUDES(mutex_);
 
   // Blocks until the earliest item is due, then pops it. Returns false when
   // the mailbox was closed and drained of due work (consumer should exit).
-  bool pop(MailItem& out);
+  bool pop(MailItem& out) EXCLUDES(mutex_);
 
   // Wakes the consumer and makes pop() return false once the queue empties.
-  void close();
+  void close() EXCLUDES(mutex_);
 
   // Marks a timer id cancelled; the matching kTimer item is dropped on pop.
-  void cancel_timer(std::int64_t timer_id);
+  void cancel_timer(std::int64_t timer_id) EXCLUDES(mutex_);
 
-  std::size_t approximate_size() const;
+  std::size_t approximate_size() const EXCLUDES(mutex_);
 
  private:
   struct Later {
@@ -62,12 +61,13 @@ class Mailbox {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::priority_queue<MailItem, std::vector<MailItem>, Later> queue_;
-  std::vector<std::int64_t> cancelled_timers_;
-  bool closed_ = false;
-  std::uint64_t next_sequence_ = 0;
+  mutable AnnotatedMutex mutex_;
+  AnnotatedCondVar cv_;
+  std::priority_queue<MailItem, std::vector<MailItem>, Later> queue_
+      GUARDED_BY(mutex_);
+  std::vector<std::int64_t> cancelled_timers_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+  std::uint64_t next_sequence_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace abe

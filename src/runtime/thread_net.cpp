@@ -173,7 +173,7 @@ void ThreadNetwork::signal_progress() {
   // The empty critical section pairs with the wait in wait_until: a
   // predicate flip made by this thread can never slip between the waiter's
   // pred() check and its block (classic missed-wakeup fence).
-  { std::lock_guard<std::mutex> lock(progress_mutex_); }
+  { MutexLock lock(progress_mutex_); }
   progress_cv_.notify_all();
 }
 
@@ -249,8 +249,9 @@ void ThreadNetwork::thread_main(std::size_t index) {
 bool ThreadNetwork::wait_until(const std::function<bool()>& pred,
                                std::chrono::milliseconds timeout) {
   const auto deadline = MailItem::Clock::now() + timeout;
-  std::unique_lock<std::mutex> lock(progress_mutex_);
-  return progress_cv_.wait_until(lock, deadline, [&] { return pred(); });
+  MutexLock lock(progress_mutex_);
+  return progress_cv_.wait_until(progress_mutex_, deadline,
+                                 [&] { return pred(); });
 }
 
 bool ThreadNetwork::wait_quiescent(std::chrono::milliseconds timeout) {

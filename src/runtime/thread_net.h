@@ -19,11 +19,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -33,6 +31,7 @@
 #include "net/node.h"
 #include "net/topology.h"
 #include "runtime/mailbox.h"
+#include "util/thread_annotations.h"
 
 namespace abe {
 
@@ -79,7 +78,7 @@ class ThreadNetwork {
   // threads and must only read atomics (terminated(i), the message
   // counters, or caller-owned atomic observers).
   bool wait_until(const std::function<bool()>& pred,
-                  std::chrono::milliseconds timeout);
+                  std::chrono::milliseconds timeout) EXCLUDES(progress_mutex_);
 
   // Blocks until no message is in flight or being handled (quiescence for
   // message-driven protocols; meaningless with tick generators or live
@@ -119,7 +118,7 @@ class ThreadNetwork {
 
   void thread_main(std::size_t index);
   // Wakes wait_until/wait_quiescent callers after a state change.
-  void signal_progress();
+  void signal_progress() EXCLUDES(progress_mutex_);
   MailItem::Clock::time_point sim_to_wall(double sim_delay_from_now) const;
 
   ThreadNetConfig config_;
@@ -142,8 +141,12 @@ class ThreadNetwork {
   std::atomic<std::int64_t> next_timer_id_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
-  mutable std::mutex progress_mutex_;
-  std::condition_variable progress_cv_;
+  // Pure wakeup fence: no field is guarded by it — waiter predicates read
+  // only the atomics above — so its whole job is the missed-wakeup pairing
+  // in signal_progress()/wait_until(). The EXCLUDES contracts on those two
+  // are what -Wthread-safety checks here.
+  mutable AnnotatedMutex progress_mutex_;
+  AnnotatedCondVar progress_cv_;
 };
 
 // Convenience harness mirroring core/harness.h on the thread runtime.

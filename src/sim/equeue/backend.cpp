@@ -31,6 +31,9 @@ bool equeue_backend_from_name(const std::string& name,
 }
 
 EqueueBackend resolve_equeue_backend(EqueueBackend requested) {
+  // Config plumbing (allowlisted in tools/lint/abe_lint.py): schedulers are
+  // constructed before their trial runs, never concurrently with setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("ABE_EQUEUE")) {
     EqueueBackend from_env;
     // Invalid values are ignored, mirroring ABE_TRIAL_THREADS: an env

@@ -1,0 +1,11 @@
+// abe-lint-fixture-path: src/core/trial_pool.cpp
+// Must pass: this path IS the sanctioned ABE_TRIAL_THREADS plumbing site
+// (the real file; the allowlist is keyed by repo-relative path). Non-ABE
+// env reads are clang-tidy's business (concurrency-mt-unsafe), not ours.
+#include <cstdlib>
+
+namespace abe {
+
+const char* trial_threads_env() { return std::getenv("ABE_TRIAL_THREADS"); }
+
+}  // namespace abe

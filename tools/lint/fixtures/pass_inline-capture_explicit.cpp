@@ -1,0 +1,29 @@
+// abe-lint-fixture-path: src/net/good_capture.cpp
+// Must pass: explicit capture lists on scheduled closures (the repo idiom:
+// [this, i]-style, auditable against InlineAction::kInlineSize), and
+// immediate-use lambdas elsewhere may still capture by default.
+#include <algorithm>
+#include <vector>
+
+namespace abe {
+
+struct FakeScheduler {
+  template <typename F>
+  void schedule_at(double when, F&& action);
+};
+
+struct Courier {
+  FakeScheduler* scheduler = nullptr;
+  int delivered = 0;
+
+  void deliver_later(int edge, double arrival) {
+    scheduler->schedule_at(arrival, [this, edge] { delivered += edge; });
+  }
+
+  int count_positive(const std::vector<int>& xs) const {
+    return static_cast<int>(
+        std::count_if(xs.begin(), xs.end(), [&](int x) { return x > 0; }));
+  }
+};
+
+}  // namespace abe

@@ -1,0 +1,29 @@
+// abe-lint-fixture-path: src/scenario/good_fold.cpp
+// Must pass: the keys are sorted before folding, so the Summary sees a
+// deterministic order; membership tests (no iteration) are fine too.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace abe {
+
+struct Summary {
+  double sum = 0.0;
+  void add(double x) { sum += x; }
+};
+
+Summary fold_counts(const std::unordered_map<std::uint64_t, double>& counts) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) keys.push_back(i);
+  std::sort(keys.begin(), keys.end());
+  Summary summary;
+  for (const std::uint64_t key : keys) {
+    const auto it = counts.find(key);
+    if (it != counts.end()) summary.add(it->second);
+  }
+  return summary;
+}
+
+}  // namespace abe

@@ -1,0 +1,13 @@
+// abe-lint-fixture-path: src/sim/waived_clock.cpp
+// Must pass: the per-rule allowlist pragma waives exactly this rule on the
+// next line (e.g. a diagnostics-only path that never feeds aggregates).
+#include <chrono>
+
+namespace abe {
+
+long long diagnostics_only_stamp() {
+  // abe-lint: allow(wall-clock)
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace abe

@@ -1,0 +1,17 @@
+// abe-lint-fixture-path: src/runtime/good_deadline.cpp
+// Must pass: steady_clock under src/runtime/ is the sanctioned wall-deadline
+// machinery (mailbox due times, trial wall budgets), and mentions of
+// system_clock in comments or strings never count.
+#include <chrono>
+#include <string>
+
+namespace abe {
+
+std::chrono::steady_clock::time_point budget_deadline(double ms) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::microseconds(static_cast<long long>(ms * 1000.0));
+}
+
+std::string describe() { return "never uses system_clock at runtime"; }
+
+}  // namespace abe

@@ -1,0 +1,12 @@
+// abe-lint-fixture-path: src/net/bad_env.cpp
+// Must trip env-read: an ABE_* read outside the sanctioned config plumbing
+// makes the run's configuration invisible to the provenance block.
+#include <cstdlib>
+
+namespace abe {
+
+bool debug_delays_enabled() {
+  return std::getenv("ABE_DEBUG_DELAYS") != nullptr;
+}
+
+}  // namespace abe

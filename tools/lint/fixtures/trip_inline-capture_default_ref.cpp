@@ -1,0 +1,19 @@
+// abe-lint-fixture-path: src/net/bad_capture.cpp
+// Must trip inline-capture: a deferred [&] closure dangles when the
+// enclosing frame returns, and hides the capture set from the
+// InlineAction 48-byte budget.
+namespace abe {
+
+struct FakeScheduler {
+  template <typename F>
+  void schedule_at(double when, F&& action);
+  template <typename F>
+  void schedule_in(double delay, F&& action);
+};
+
+void deliver_later(FakeScheduler& scheduler, int edge, double arrival) {
+  int hops = edge + 1;
+  scheduler.schedule_at(arrival, [&] { ++hops; });
+}
+
+}  // namespace abe

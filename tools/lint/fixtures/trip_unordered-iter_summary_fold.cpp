@@ -1,0 +1,22 @@
+// abe-lint-fixture-path: src/scenario/bad_fold.cpp
+// Must trip unordered-iter: folding hash-iteration order into a Summary
+// breaks bit-identical aggregates across libstdc++ versions.
+#include <cstdint>
+#include <unordered_map>
+
+namespace abe {
+
+struct Summary {
+  double sum = 0.0;
+  void add(double x) { sum += x; }
+};
+
+Summary fold_counts(const std::unordered_map<std::uint64_t, double>& counts) {
+  Summary summary;
+  for (const auto& entry : counts) {
+    summary.add(entry.second);
+  }
+  return summary;
+}
+
+}  // namespace abe

@@ -1,0 +1,14 @@
+// abe-lint-fixture-path: src/algo/bad_rand.cpp
+// Must trip wall-clock (twice): std::rand bypasses the seeded Rng and
+// time(nullptr) seeds from the wall.
+#include <cstdlib>
+#include <ctime>
+
+namespace abe {
+
+int lottery() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return std::rand();
+}
+
+}  // namespace abe

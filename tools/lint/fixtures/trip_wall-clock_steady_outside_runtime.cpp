@@ -1,0 +1,13 @@
+// abe-lint-fixture-path: src/scenario/bad_steady.cpp
+// Must trip wall-clock: steady_clock is sanctioned under src/runtime/ only
+// (wall-deadline code); in the scenario layer it leaks wall time into
+// results.
+#include <chrono>
+
+namespace abe {
+
+long long scenario_stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace abe

@@ -1,0 +1,13 @@
+// abe-lint-fixture-path: src/sim/bad_clock.cpp
+// Must trip wall-clock: system_clock in simulator code makes seeded runs
+// irreproducible.
+#include <chrono>
+
+namespace abe {
+
+double wall_seconds() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace abe
