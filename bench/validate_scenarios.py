@@ -3,12 +3,14 @@
 
   python3 bench/validate_scenarios.py sweep.json [more.json ...]
 
-Checks the structure the "abe-scenario-sweep-v3" schema promises — the
-metadata provenance block, per-cell axes (including the execution runtime),
-and aggregate summaries — plus the one correctness gate a structural check
-can carry: safety_violations == 0 (a cell that elected two leaders is a
-bug, not a perf delta). v2 documents (pre-runtime-axis) are still accepted:
-they are v3 minus the runtime fields. Exit codes: 0 valid, 1 schema
+Checks the structure the "abe-scenario-sweep-v4" schema promises — the
+metadata provenance block, per-cell axes (including the execution runtime
+and the adversarial behavior/adversary axes), and aggregate summaries —
+plus the one correctness gate a structural check can carry:
+safety_violations == 0 (a cell that elected two leaders is a bug, not a
+perf delta; the violation_seeds list in the document replays it). Older
+documents are still accepted: v2 is v3 minus the runtime fields, v3 is v4
+minus the adversary/safety-probe fields. Exit codes: 0 valid, 1 schema
 violation or safety violation, 2 unreadable input.
 
 CI runs this in the scenario-smoke job; it is dependency-free on purpose
@@ -18,7 +20,8 @@ CI runs this in the scenario-smoke job; it is dependency-free on purpose
 import json
 import sys
 
-SCHEMAS = ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3")
+SCHEMAS = ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3",
+           "abe-scenario-sweep-v4")
 
 METADATA_FIELDS = {
     "git_sha": str,
@@ -31,6 +34,10 @@ METADATA_FIELDS = {
 }
 
 RUNTIMES = ("sim", "thread")
+
+# The JSON emitter caps the violation_seeds list it prints; the count field
+# stays authoritative (src/scenario/sweep.cpp).
+MAX_EMITTED_SEEDS = 16
 
 SUMMARY_FIELDS = {
     "count": int,
@@ -77,7 +84,8 @@ def validate(path, doc):
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         return fail(path, f"schema is {schema!r}, want one of {SCHEMAS}")
-    v3 = schema == "abe-scenario-sweep-v3"
+    v3 = schema in ("abe-scenario-sweep-v3", "abe-scenario-sweep-v4")
+    v4 = schema == "abe-scenario-sweep-v4"
     metadata = doc.get("metadata")
     if not isinstance(metadata, dict):
         return fail(path, "metadata is not an object")
@@ -99,6 +107,11 @@ def validate(path, doc):
         cell_fields = dict(CELL_FIELDS)
         if v3:
             cell_fields["runtime"] = str
+        if v4:
+            cell_fields["behavior"] = str
+            cell_fields["adversary"] = str
+            cell_fields["stalled"] = int
+            cell_fields["violation_seeds"] = list
         if not check_fields(path, cell, cell_fields, where):
             return False
         if v3 and cell["runtime"] not in RUNTIMES:
@@ -112,11 +125,25 @@ def validate(path, doc):
             if not check_fields(path, cell[summary_key], SUMMARY_FIELDS,
                                 f"{where}.{summary_key}"):
                 return False
-        completed = cell["trials"] - cell["failures"]
+        # v4 splits stalled trials (quiescent with no way forward) out of
+        # failures (still working at the deadline); completed is what's left.
+        stalled = cell["stalled"] if v4 else 0
+        completed = cell["trials"] - cell["failures"] - stalled
         if cell["messages"]["count"] != completed:
             return fail(path, f"{where}: summary count "
                               f"{cell['messages']['count']} != completed "
                               f"trials {completed}")
+        if v4:
+            seeds = cell["violation_seeds"]
+            if not all(isinstance(s, int) and s >= 0 for s in seeds):
+                return fail(path, f"{where}.violation_seeds must be "
+                                  "non-negative integers")
+            expect = min(cell["safety_violations"], MAX_EMITTED_SEEDS)
+            if len(seeds) != expect:
+                return fail(path, f"{where}: violation_seeds has "
+                                  f"{len(seeds)} entries, want {expect} "
+                                  f"(count {cell['safety_violations']}, "
+                                  f"emit cap {MAX_EMITTED_SEEDS})")
         if cell["safety_violations"] != 0:
             return fail(path, f"{where} ({cell['cell']}): "
                               f"{cell['safety_violations']} safety "

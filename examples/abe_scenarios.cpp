@@ -4,6 +4,11 @@
 //   abe_scenarios describe <scenario>       # full spec of one scenario
 //   abe_scenarios run <scenario> [flags]    # run one scenario's cell
 //   abe_scenarios sweep [<sweep>] [flags]   # expand + run a scenario matrix
+//   abe_scenarios replay <scenario> --seed N [flags]
+//                                           # re-run ONE simulator trial with
+//                                           # tracing on and print the full
+//                                           # event trace — the tool for the
+//                                           # violation_seeds a sweep captures
 //
 // Common flags:
 //   --trials N    trials per cell (default: the spec's default_trials)
@@ -19,8 +24,18 @@
 //                 drift, pinned equeue, n > 256) are rejected up front,
 //                 and wall-clock results are nondeterministic by design.
 //   --json PATH   also write the structured sweep JSON ("-" for stdout)
-//   --n N         override the topology size (run only)
-//   --delay NAME --mean M   override the delay model (run only)
+//   --n N         override the topology size (run/replay only)
+//   --delay NAME --mean M   override the delay model (run/replay only)
+//   --failure F   failure profile (none | loss-<p> | degrade-<q>x<f>),
+//                 round-trips with each cell's `failure` JSON field
+//   --behavior B  node behavior profile (honest | crash-<c>@<T> |
+//                 crash-rand-<c> | equivocate-<c> | reorder-<c>x<k>):
+//                 wraps the top <c> node indices in the named fault
+//                 (run/replay only; sweeps carry their own behavior axis)
+//   --adversary A bounded-expected-delay adversary (none | targeted |
+//                 burst-stall): maximises damage while keeping every
+//                 channel's empirical mean delay within the model bound
+//                 (run/replay only)
 //
 // Results are bit-identical for every --threads value (see
 // src/scenario/sweep.h); the JSON carries the same provenance metadata as
@@ -32,7 +47,9 @@
 #include <sstream>
 #include <string>
 
+#include "adversary/delay_policy.h"
 #include "core/trial_pool.h"
+#include "scenario/drivers.h"
 #include "scenario/scenario.h"
 #include "sim/equeue/backend.h"
 #include "scenario/sweep.h"
@@ -62,10 +79,13 @@ int usage(const char* program) {
                "       %s describe <scenario>\n"
                "       %s run <scenario> [--trials N] [--seed N] "
                "[--threads N] [--n N] [--delay NAME] [--mean M] "
+               "[--failure F] [--behavior B] [--adversary A] "
                "[--equeue B] [--runtime R] [--json PATH]\n"
                "       %s sweep [<sweep>] [--trials N] [--seed N] "
-               "[--threads N] [--equeue B] [--runtime R] [--json PATH]\n",
-               program, program, program, program);
+               "[--threads N] [--equeue B] [--runtime R] [--json PATH]\n"
+               "       %s replay <scenario> --seed N [--n N] [--delay NAME] "
+               "[--mean M] [--failure F] [--behavior B] [--adversary A]\n",
+               program, program, program, program, program);
   return 2;
 }
 
@@ -252,14 +272,12 @@ int run_cells(std::vector<abe::ScenarioSpec> cells,
   return 0;
 }
 
-int cmd_run(const std::string& name, const abe::CliFlags& flags) {
-  const abe::ScenarioSpec* registered = abe::find_scenario(name);
-  if (registered == nullptr) {
-    std::fprintf(stderr, "unknown scenario '%s' (try `list`)\n",
-                 name.c_str());
-    return 2;
-  }
-  abe::ScenarioSpec spec = *registered;
+// Applies the run/replay-only overrides (--n/--delay/--mean/--failure/
+// --behavior/--adversary) to `spec`, validating every piece of user input
+// before it can reach a library aborting check. Returns 0, or 2 with a
+// message on stderr.
+int apply_cell_overrides(abe::ScenarioSpec& spec, const std::string& name,
+                         const abe::CliFlags& flags) {
   if (flags.has("n")) {
     const std::int64_t n =
         flags.get_int("n", static_cast<std::int64_t>(spec.topology.n));
@@ -295,7 +313,128 @@ int cmd_run(const std::string& name, const abe::CliFlags& flags) {
     }
     spec.mean_delay = mean;
   }
+  if (flags.has("failure")) {
+    const std::string failure = flags.get_string("failure", "none");
+    if (!abe::FailureProfile::parse(failure, &spec.failure)) {
+      std::fprintf(stderr,
+                   "unknown failure profile '%s'; grammar: none | "
+                   "loss-<p> | degrade-<q>x<f> (p, q in [0, 1]; f >= 1)\n",
+                   failure.c_str());
+      return 2;
+    }
+  }
+  if (flags.has("behavior")) {
+    const std::string behavior = flags.get_string("behavior", "honest");
+    if (!abe::behavior_spec_from_name(behavior, &spec.behavior)) {
+      std::fprintf(stderr,
+                   "unknown behavior profile '%s'; grammar: honest | "
+                   "crash-<c>@<T> | crash-rand-<c> | equivocate-<c> | "
+                   "reorder-<c>x<k>\n",
+                   behavior.c_str());
+      return 2;
+    }
+  }
+  if (flags.has("adversary")) {
+    spec.adversary = flags.get_string("adversary", "");
+    if (spec.adversary == "none") spec.adversary.clear();
+  }
+  // One structural gate for the whole adversarial axis: afflicted count vs
+  // n, profile-vs-algorithm support, and the adversary policy name.
+  const std::string adversarial_problem = abe::behavior_cell_problem(spec);
+  if (!adversarial_problem.empty()) {
+    std::fprintf(stderr, "invalid adversarial cell for '%s': %s\n",
+                 name.c_str(), adversarial_problem.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_run(const std::string& name, const abe::CliFlags& flags) {
+  const abe::ScenarioSpec* registered = abe::find_scenario(name);
+  if (registered == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try `list`)\n",
+                 name.c_str());
+    return 2;
+  }
+  abe::ScenarioSpec spec = *registered;
+  const int rc = apply_cell_overrides(spec, name, flags);
+  if (rc != 0) return rc;
   return run_cells({std::move(spec)}, flags);
+}
+
+// Replays ONE simulator trial with tracing enabled and prints the event
+// trace: the consumer of the violation_seeds list a sweep's JSON captures.
+// Deterministic — the same seed reproduces the violating run bit for bit.
+int cmd_replay(const std::string& name, const abe::CliFlags& flags) {
+  const abe::ScenarioSpec* registered = abe::find_scenario(name);
+  if (registered == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try `list`)\n",
+                 name.c_str());
+    return 2;
+  }
+  abe::ScenarioSpec spec = *registered;
+  const int rc = apply_cell_overrides(spec, name, flags);
+  if (rc != 0) return rc;
+  // Replay is a determinism tool; wall-clock runs cannot reproduce a trial.
+  if (flags.has("runtime") &&
+      flags.get_string("runtime", "sim") != "sim") {
+    std::fprintf(stderr, "replay is simulator-only (--runtime sim)\n");
+    return 2;
+  }
+  spec.runtime = abe::RuntimeKind::kSim;
+  const std::int64_t seed_flag = flags.get_int("seed", 1);
+  if (seed_flag < 0) {
+    std::fprintf(stderr, "--seed must be >= 0\n");
+    return 2;
+  }
+
+  std::string trace;
+  const abe::TrialOutcome outcome = abe::replay_scenario_trial(
+      spec, static_cast<std::uint64_t>(seed_flag), &trace);
+  std::printf("cell:      %s\n", spec.cell_id().c_str());
+  std::printf("seed:      %lld\n", static_cast<long long>(seed_flag));
+  std::printf("completed: %s\n", outcome.completed ? "yes" : "no");
+  std::printf("stalled:   %s\n", outcome.stalled ? "yes" : "no");
+  // Safety is a property of completed trials (a sweep counts violations the
+  // same way); an incomplete trial has nothing to probe yet.
+  std::printf("safety:    %s\n",
+              !outcome.completed ? "not evaluated (trial did not complete)"
+              : outcome.safety_ok ? "ok"
+                                  : "VIOLATION");
+  if (!outcome.safety_detail.empty()) {
+    std::printf("detail:    %s\n", outcome.safety_detail.c_str());
+  }
+  std::printf("messages:  %llu\n",
+              static_cast<unsigned long long>(outcome.messages));
+  std::printf("time:      %.6g\n", outcome.time);
+
+  // A stalled run at a large deadline can tick for millions of events after
+  // the interesting part is over; elide the middle rather than flood the
+  // terminal. Violating runs complete early and print in full.
+  constexpr std::size_t kHeadLines = 2000;
+  constexpr std::size_t kTailLines = 200;
+  std::size_t lines = 0;
+  for (char c : trace) lines += (c == '\n');
+  std::printf("--- trace (%zu events) ---\n", lines);
+  if (lines <= kHeadLines + kTailLines) {
+    std::fwrite(trace.data(), 1, trace.size(), stdout);
+  } else {
+    std::size_t head_end = 0, seen = 0;
+    while (seen < kHeadLines) {
+      head_end = trace.find('\n', head_end) + 1;
+      ++seen;
+    }
+    std::size_t tail_begin = trace.size();
+    for (seen = 0; seen <= kTailLines; ++seen) {
+      tail_begin = trace.rfind('\n', tail_begin - 1);
+    }
+    std::fwrite(trace.data(), 1, head_end, stdout);
+    std::printf("... [%zu events elided] ...\n",
+                lines - kHeadLines - kTailLines);
+    std::fwrite(trace.data() + tail_begin + 1,
+                1, trace.size() - tail_begin - 1, stdout);
+  }
+  return outcome.completed && !outcome.safety_ok ? 1 : 0;
 }
 
 int cmd_sweep(const std::string& name, const abe::CliFlags& flags) {
@@ -316,7 +455,7 @@ int main(int argc, char** argv) {
   // before any trials run, not silently defaulted.
   for (const char* known :
        {"trials", "seed", "threads", "json", "n", "delay", "mean",
-        "equeue", "runtime"}) {
+        "equeue", "runtime", "failure", "behavior", "adversary"}) {
     flags.has(known);
   }
   const auto unknown = flags.unknown_flags();
@@ -342,6 +481,10 @@ int main(int argc, char** argv) {
   }
   if (command == "sweep") {
     return cmd_sweep(args.size() >= 2 ? args[1] : "robustness", flags);
+  }
+  if (command == "replay") {
+    if (args.size() < 2) return usage(argv[0]);
+    return cmd_replay(args[1], flags);
   }
   return usage(argv[0]);
 }

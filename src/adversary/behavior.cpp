@@ -1,0 +1,129 @@
+#include "adversary/behavior.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace abe {
+
+const char* behavior_profile_name(BehaviorProfile profile) {
+  switch (profile) {
+    case BehaviorProfile::kHonest:
+      return "honest";
+    case BehaviorProfile::kCrashAtT:
+      return "crash";
+    case BehaviorProfile::kCrashRandom:
+      return "crash-rand";
+    case BehaviorProfile::kEquivocate:
+      return "equivocate";
+    case BehaviorProfile::kReorder:
+      return "reorder";
+  }
+  return "?";
+}
+
+std::string BehaviorSpec::describe() const {
+  if (is_honest()) return "honest";
+  std::ostringstream os;
+  switch (profile) {
+    case BehaviorProfile::kHonest:
+      break;  // unreachable: is_honest() handled above
+    case BehaviorProfile::kCrashAtT:
+      os << "crash-" << count << "@" << param;
+      break;
+    case BehaviorProfile::kCrashRandom:
+      os << "crash-rand-" << count;
+      break;
+    case BehaviorProfile::kEquivocate:
+      os << "equivocate-" << count;
+      break;
+    case BehaviorProfile::kReorder:
+      os << "reorder-" << count << "x"
+         << static_cast<std::uint64_t>(param);
+      break;
+  }
+  return os.str();
+}
+
+std::string BehaviorSpec::problem(std::size_t n) const {
+  if (is_honest()) return "";
+  if (count >= n) {
+    std::ostringstream os;
+    os << count << " faulty node(s) leave no honest node in a network of "
+       << n;
+    return os.str();
+  }
+  if (profile == BehaviorProfile::kCrashAtT && param < 0.0) {
+    return "crash time must be >= 0";
+  }
+  if (profile == BehaviorProfile::kReorder && param < 1.0) {
+    return "reorder window must be >= 1";
+  }
+  return "";
+}
+
+namespace {
+
+// Parses a nonnegative number, consuming the longest valid prefix of
+// `text` from `pos`. Returns false when nothing was consumed.
+bool parse_number(const std::string& text, std::size_t* pos, double* out) {
+  const char* begin = text.c_str() + *pos;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || value < 0.0) return false;
+  *pos += static_cast<std::size_t>(end - begin);
+  *out = value;
+  return true;
+}
+
+// Matches `prefix` at `pos`, advancing past it on success.
+bool consume(const std::string& text, std::size_t* pos,
+             const std::string& prefix) {
+  if (text.compare(*pos, prefix.size(), prefix) != 0) return false;
+  *pos += prefix.size();
+  return true;
+}
+
+}  // namespace
+
+bool behavior_spec_from_name(const std::string& name, BehaviorSpec* out) {
+  *out = BehaviorSpec{};
+  if (name == "honest") return true;
+
+  std::size_t pos = 0;
+  double count = 0.0;
+  // Order matters: "crash-rand-" must be tried before the "crash-" form.
+  if (consume(name, &pos, "crash-rand-")) {
+    if (!parse_number(name, &pos, &count) || pos != name.size()) return false;
+    out->profile = BehaviorProfile::kCrashRandom;
+  } else if (consume(name, &pos, "crash-")) {
+    double at = 0.0;
+    if (!parse_number(name, &pos, &count)) return false;
+    if (!consume(name, &pos, "@")) return false;
+    if (!parse_number(name, &pos, &at) || pos != name.size()) return false;
+    out->profile = BehaviorProfile::kCrashAtT;
+    out->param = at;
+  } else if (consume(name, &pos, "equivocate-")) {
+    if (!parse_number(name, &pos, &count) || pos != name.size()) return false;
+    out->profile = BehaviorProfile::kEquivocate;
+  } else if (consume(name, &pos, "reorder-")) {
+    double window = 0.0;
+    if (!parse_number(name, &pos, &count)) return false;
+    if (!consume(name, &pos, "x")) return false;
+    if (!parse_number(name, &pos, &window) || pos != name.size()) {
+      return false;
+    }
+    if (window < 1.0) return false;
+    out->profile = BehaviorProfile::kReorder;
+    out->param = window;
+  } else {
+    return false;
+  }
+  if (count < 1.0 || count != static_cast<double>(
+                                  static_cast<std::size_t>(count))) {
+    return false;
+  }
+  out->count = static_cast<std::size_t>(count);
+  return true;
+}
+
+}  // namespace abe

@@ -1,0 +1,71 @@
+// Per-node behavior profiles: the fault axis of the scenario engine.
+//
+// A BehaviorSpec names a profile and how many nodes it afflicts; the
+// scenario engine realises it by wrapping the afflicted nodes' algorithm
+// objects in a FaultyNode decorator (adversary/faulty_node.h), so the same
+// profile runs unchanged on the simulator and the real-thread runtime.
+// Faulty nodes are taken from the TOP of the index range (n-1 downward):
+// several algorithms give node 0 a distinguished role (gossip source,
+// unsafe-toy initiator), and crashing the initiator measures nothing.
+//
+// Profiles:
+//   honest       no wrapping at all (the default; byte-identical runs)
+//   crash-at-T   the node dies at sim time T: every later event is
+//                swallowed, is_terminated() turns true
+//   crash-random the crash time is drawn per node from the trial seed
+//                (deterministic given the seed), uniform in [0, deadline/4]
+//   equivocate   every outbound send is duplicated (the message and a
+//                clone) — the cheapest Byzantine behaviour that injects
+//                conflicting protocol state
+//   reorder      inbound messages are buffered up to a window of k and
+//                released in reverse order (adversarial reordering beyond
+//                what kArbitrary channels produce)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace abe {
+
+enum class BehaviorProfile : std::uint8_t {
+  kHonest,
+  kCrashAtT,
+  kCrashRandom,
+  kEquivocate,
+  kReorder,
+};
+
+const char* behavior_profile_name(BehaviorProfile profile);
+
+struct BehaviorSpec {
+  BehaviorProfile profile = BehaviorProfile::kHonest;
+  // Number of afflicted nodes (taken from index n-1 downward). 0 means
+  // honest regardless of profile.
+  std::size_t count = 0;
+  // Profile parameter: crash time T (kCrashAtT) or reorder window k
+  // (kReorder, >= 1). Unused otherwise.
+  double param = 0.0;
+
+  bool is_honest() const {
+    return profile == BehaviorProfile::kHonest || count == 0;
+  }
+
+  // True when node `index` of an n-node network carries the profile.
+  bool afflicts(std::size_t index, std::size_t n) const {
+    return !is_honest() && index < n && index + count >= n;
+  }
+
+  // Round-trippable cell-id token:
+  //   "honest" | "crash-<c>@<T>" | "crash-rand-<c>" | "equivocate-<c>" |
+  //   "reorder-<c>x<k>"
+  std::string describe() const;
+
+  // Structural validation against a network of size n; empty when fine.
+  std::string problem(std::size_t n) const;
+};
+
+// Non-aborting inverse of BehaviorSpec::describe (the CLI validation
+// boundary). Returns false on unknown input; *out is then unspecified.
+bool behavior_spec_from_name(const std::string& name, BehaviorSpec* out);
+
+}  // namespace abe

@@ -1,0 +1,64 @@
+// Bounded adversarial delay policies: ABE-legal worst-case scheduling.
+//
+// The ABE model (Definition 1) bounds only the EXPECTED delay of each
+// channel — any individual delay may be arbitrarily large as long as the
+// channel's running mean stays within the bound. That freedom is exactly
+// what an adversary exploits: deliver a channel's messages instantly to
+// bank delay budget, then spend the entire bank on one targeted stall.
+//
+// make_bounded_adversary is the ONLY sanctioned constructor: it wraps a
+// proposed-delay schedule in per-channel accounting that clips every grant
+// so the empirical mean can never exceed the bound, and ABE_CHECKs that
+// invariant after each grant. abe_lint's adversary-delay rule forbids
+// src/adversary/ code from constructing DelayModels directly (which would
+// bypass this accounting).
+//
+// Policies are deterministic — they draw no randomness — so honest cells
+// (policy == nullptr) and adversarial cells consume identical RNG streams,
+// preserving the repo's bit-identity story for everything non-adversarial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/delay.h"
+
+namespace abe {
+
+// A proposed delay for the `index`-th message (0-based) on channel
+// from -> to. The wrapper clips the proposal into the channel's remaining
+// budget; schedules may therefore over-ask (e.g. propose bound*k stalls)
+// and rely on the clip.
+using DelaySchedule = std::function<double(
+    std::size_t from, std::size_t to, std::uint64_t index)>;
+
+// The sanctioned policy constructor (see file comment). Per-channel
+// accounting is guarded by an internal mutex: next_delay is called
+// concurrently from node threads on the thread runtime.
+AdversaryPolicyPtr make_bounded_adversary(std::string name, double bound,
+                                          DelaySchedule schedule);
+
+// Targeted slowdown of one node: the victim's outbound channels deliver
+// `period`-1 messages instantly, then stall one message for the whole
+// banked budget (period * bound); every other channel runs at exactly the
+// bound. The strongest single-target schedule the ABE bound admits.
+AdversaryPolicyPtr targeted_slowdown(double bound, std::size_t victim,
+                                     std::uint64_t period = 8);
+
+// Burst-then-stall on every channel: `burst` instant deliveries, then one
+// maximal stall of (burst+1) * bound, repeating. Global jitter attack.
+AdversaryPolicyPtr burst_then_stall(double bound, std::uint64_t burst = 4);
+
+// Named construction for the scenario axis / CLI: "none" (or "") returns
+// nullptr (honest), "targeted" and "burst-stall" build the policies above
+// with their default parameters and victim 0. Unknown names return nullptr
+// with *ok set false when `ok` is provided.
+AdversaryPolicyPtr make_named_adversary(const std::string& name, double bound,
+                                        bool* ok = nullptr);
+
+// Names accepted by make_named_adversary (excluding "none").
+const std::vector<std::string>& adversary_policy_names();
+
+}  // namespace abe

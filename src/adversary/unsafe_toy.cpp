@@ -1,0 +1,98 @@
+#include "adversary/unsafe_toy.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace abe {
+
+namespace {
+
+class ToyTokenPayload final : public Payload {
+ public:
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<ToyTokenPayload>();
+  }
+  std::string describe() const override { return "ToyToken"; }
+};
+
+class UnsafeToyDriver final : public AlgorithmDriver {
+ public:
+  void configure(RuntimeConfig& /*config*/) override {}
+
+  NodePtr make_node(std::size_t index) override {
+    return std::make_unique<UnsafeToyNode>(index == 0, &leaders_);
+  }
+
+  bool done(const Runtime& /*rt*/) override {
+    return leaders_.load(std::memory_order_acquire) >= 2;
+  }
+
+  void on_complete(Runtime& rt) override { completion_time_ = rt.now(); }
+
+  void settle(Runtime& /*rt*/, bool /*completed*/) override {}
+
+  TrialOutcome extract(Runtime& rt, bool completed) override {
+    TrialOutcome out;
+    const std::uint64_t leaders =
+        leaders_.load(std::memory_order_acquire);
+    if (!completed) {
+      std::ostringstream detail;
+      detail << "unsafe toy missed the deadline with " << leaders
+             << " leader(s)";
+      out.safety_detail = detail.str();
+      return out;
+    }
+    out.completed = true;
+    out.time = completion_time_;
+    out.messages = rt.stats().messages_sent;
+    // The whole point: the run COMPLETED but safety does not hold.
+    out.safety_ok = leaders <= 1;
+    if (!out.safety_ok) {
+      std::ostringstream detail;
+      detail << "SAFETY-VIOLATION: " << leaders
+             << " nodes declared themselves leader";
+      out.safety_detail = detail.str();
+    }
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> leaders_{0};
+  SimTime completion_time_ = 0.0;
+};
+
+}  // namespace
+
+void UnsafeToyNode::declare(Context& ctx) {
+  if (leader_) return;
+  leader_ = true;
+  ctx.log("declared leader");
+  leaders_->fetch_add(1, std::memory_order_release);
+}
+
+void UnsafeToyNode::on_start(Context& ctx) {
+  if (!initiator_) return;
+  declare(ctx);
+  if (ctx.out_degree() > 0) {
+    forwarded_ = true;
+    ctx.send(0, std::make_unique<ToyTokenPayload>());
+  }
+}
+
+void UnsafeToyNode::on_message(Context& ctx, std::size_t /*in_index*/,
+                               const Payload& payload) {
+  payload_as<ToyTokenPayload>(payload);
+  declare(ctx);
+  // Forward once so the token keeps infecting the ring, then let it die.
+  if (!forwarded_ && ctx.out_degree() > 0) {
+    forwarded_ = true;
+    ctx.send(0, std::make_unique<ToyTokenPayload>());
+  }
+}
+
+std::unique_ptr<AlgorithmDriver> make_unsafe_toy_driver() {
+  return std::make_unique<UnsafeToyDriver>();
+}
+
+}  // namespace abe

@@ -1,0 +1,55 @@
+// A deliberately UNSAFE toy "election" used to prove the safety-probe layer
+// actually catches violations (and that captured seeds replay).
+//
+// Protocol (broken by construction): the initiator declares itself leader on
+// start and sends a token; EVERY receiver of the token also declares itself
+// leader and forwards it once. Two or more leaders are guaranteed on any
+// connected topology with >= 2 nodes, so a probe that fails to flag this
+// run is itself broken.
+//
+// This algorithm must NEVER be registered as a scenario preset — the
+// registry invariant is that every registered scenario's smoke trial is
+// safe. Tests and the safety-probe demonstration build it ad hoc.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "runtime/runtime.h"
+
+namespace abe {
+
+class UnsafeToyNode final : public Node {
+ public:
+  // `leaders` is the driver's shared count of self-declared leaders;
+  // atomic because the thread runtime declares from node threads.
+  UnsafeToyNode(bool initiator, std::atomic<std::uint64_t>* leaders)
+      : initiator_(initiator), leaders_(leaders) {}
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, std::size_t in_index,
+                  const Payload& payload) override;
+
+  std::string state_string() const override {
+    return leader_ ? "leader" : "follower";
+  }
+  bool is_terminated() const override { return leader_; }
+  bool is_leader() const { return leader_; }
+
+ private:
+  void declare(Context& ctx);
+
+  const bool initiator_;
+  std::atomic<std::uint64_t>* const leaders_;
+  bool leader_ = false;
+  bool forwarded_ = false;
+};
+
+// AlgorithmDriver for run_algorithm_trial: done when >= 2 nodes have
+// declared themselves leader (which the broken protocol guarantees).
+// extract() reports completed=true, safety_ok=false with a detail naming
+// the leader count — the shape the safety-probe layer must catch.
+std::unique_ptr<AlgorithmDriver> make_unsafe_toy_driver();
+
+}  // namespace abe

@@ -83,7 +83,8 @@ class GossipDriver final : public AlgorithmDriver {
     Summary inform_times;
     SimTime last = 0.0;
     for (std::size_t i = 0; i < rt.size(); ++i) {
-      const auto& node = static_cast<const GossipNode&>(rt.node(i));
+      const auto& node =
+          static_cast<const GossipNode&>(rt.node(i).algorithm_node());
       inform_times.add(node.informed_at());
       last = std::max(last, node.informed_at());
     }

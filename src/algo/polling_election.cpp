@@ -230,8 +230,8 @@ class PollingDriver final : public AlgorithmDriver {
     std::size_t leaders = 0;
     std::size_t passives = 0;
     for (std::size_t i = 0; i < rt.size(); ++i) {
-      const auto& node =
-          static_cast<const PollingElectionNode&>(rt.node(i));
+      const auto& node = static_cast<const PollingElectionNode&>(
+          rt.node(i).algorithm_node());
       if (node.woken()) ++sink_->woken;
       if (node.state() == PollingState::kLeader) {
         ++leaders;

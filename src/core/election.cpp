@@ -76,6 +76,12 @@ void ElectionNode::on_message(Context& ctx, std::size_t /*in_index*/,
   const auto& msg = payload_as<HopPayload>(payload);
   const std::uint64_t n = ctx.network_size();
   ABE_CHECK_GE(msg.hop(), 1u);
+  if (msg.hop() > n && options_.tolerate_protocol_violation) {
+    // An equivocated token over-counted the passive stretch; a correct
+    // node discards what the honest protocol could never have sent.
+    ++overflow_drops_;
+    return;
+  }
   ABE_CHECK_LE(msg.hop(), n) << "hop counter exceeded ring size";
 
   // Every receipt first folds the hop count into d(A).
@@ -89,7 +95,14 @@ void ElectionNode::on_message(Context& ctx, std::size_t /*in_index*/,
       // knocked-out stretch behind this node. d < n here: a hop of n can
       // only reach an active node (the count of live messages always equals
       // the count of active nodes, so a non-active receiver implies another
-      // active node exists, i.e. at most n−2 passives).
+      // active node exists, i.e. at most n−2 passives) — except under
+      // equivocation, where a duplicated token can legitimately drive d to
+      // n at a passive node; tolerance drops it (the knockout stands).
+      if (d_ >= n && options_.tolerate_protocol_violation) {
+        ++overflow_drops_;
+        set_state(ctx, ElectionState::kPassive);
+        break;
+      }
       ABE_CHECK_LT(d_, n) << "forwarding would exceed ring size";
       set_state(ctx, ElectionState::kPassive);
       ++forwards_;

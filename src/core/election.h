@@ -85,6 +85,14 @@ struct ElectionOptions {
   ActivationPolicy policy = ActivationPolicy::kAdaptive;
   // Optional, non-owning; must outlive the nodes.
   ElectionObserver* observer = nullptr;
+  // Honest rings keep the token-conservation invariants (hop <= n, d < n at
+  // non-active receivers) as hard ABE_CHECKs — a violation there is a bug.
+  // Under Byzantine profiles (adversary/behavior.h: equivocation injects
+  // duplicate tokens that drive d past n at passive nodes) the invariants
+  // can be violated by DESIGN; setting this drops the offending message
+  // (counted in overflow_drops()) instead of aborting the process, so
+  // safety probing can observe what the protocol does under attack.
+  bool tolerate_protocol_violation = false;
 };
 
 class ElectionNode final : public Node {
@@ -112,6 +120,8 @@ class ElectionNode final : public Node {
   std::uint64_t purges() const { return purges_; }
   // Messages forwarded while idle or passive.
   std::uint64_t forwards() const { return forwards_; }
+  // Protocol-violating messages dropped under tolerate_protocol_violation.
+  std::uint64_t overflow_drops() const { return overflow_drops_; }
 
  private:
   void set_state(Context& ctx, ElectionState next);
@@ -122,6 +132,7 @@ class ElectionNode final : public Node {
   std::uint64_t activations_ = 0;
   std::uint64_t purges_ = 0;
   std::uint64_t forwards_ = 0;
+  std::uint64_t overflow_drops_ = 0;
 };
 
 }  // namespace abe

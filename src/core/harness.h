@@ -40,6 +40,13 @@ struct ElectionExperiment {
   // The ABE model itself requires reliable delivery, so the default is 0;
   // lossy runs report robustness, not the paper's regime.
   double loss_probability = 0.0;
+  // Set by the scenario engine when behavior profiles or an adversarial
+  // delay policy are injected (src/adversary/). Relaxes the HONEST-RING
+  // environment postconditions (exactly n-1 passives, zero in-flight at
+  // quiescence — crashed nodes are never knocked out, equivocated tokens
+  // may still circulate) while keeping the actual safety property probed
+  // under attack: exactly one leader, and never two leaders ever.
+  bool adversarial = false;
   std::uint64_t seed = 1;
   // Event-queue backend (pure perf knob; results are bit-identical).
   EqueueBackend equeue = EqueueBackend::kAuto;
@@ -54,6 +61,11 @@ struct ElectionExperiment {
 
 struct ElectionRunResult {
   bool elected = false;
+  // Refinement of !elected: the run went quiescent with no leader AND no
+  // way to make progress (no message in flight, no idle node left to
+  // activate) — the ring's rare all-passive deadlock under loss — rather
+  // than still working when the deadline hit.
+  bool stalled = false;
   std::size_t leader_index = 0;
   SimTime election_time = 0.0;     // real time at which the leader appeared
   std::uint64_t messages = 0;      // messages sent up to the election moment

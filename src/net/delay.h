@@ -91,4 +91,35 @@ DelayModelPtr make_delay_model(const std::string& name, double mean);
 // Names accepted by make_delay_model, for iteration in sweeps.
 const std::vector<std::string>& standard_delay_model_names();
 
+// An adversary choosing per-message delays, subject to the ABE contract:
+// the empirical mean delay of every channel must stay <= bound(). Unlike
+// DelayModel (an i.i.d. distribution sampled per message), a policy is
+// stateful and edge-aware — it may bank delay budget on a channel by
+// delivering fast, then spend it in one targeted stall — which is exactly
+// the worst case the ABE model admits (Definition 1 bounds only the
+// EXPECTED delay, not any individual delay).
+//
+// Implementations live in src/adversary/delay_policy.h and MUST be built
+// through make_bounded_adversary there, which wraps every schedule in the
+// per-channel accounting that enforces the bound at runtime (abe_lint's
+// adversary-delay rule rejects direct DelayModel construction in
+// src/adversary/). next_delay is called concurrently from node threads on
+// the thread runtime, so implementations guard their state (AnnotatedMutex
+// + GUARDED_BY).
+class AdversarialDelayPolicy {
+ public:
+  virtual ~AdversarialDelayPolicy() = default;
+
+  // The delay (>= 0) for the next message on channel from -> to. Stateful:
+  // each call advances the per-channel schedule.
+  virtual double next_delay(std::size_t from, std::size_t to) = 0;
+
+  // The ABE expected-delay bound the policy promises to respect.
+  virtual double bound() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using AdversaryPolicyPtr = std::shared_ptr<AdversarialDelayPolicy>;
+
 }  // namespace abe

@@ -263,7 +263,11 @@ void Network::send_from(std::size_t node_index, std::size_t out_index,
     return;
   }
 
-  const double delay = ch.delay->sample(channel_rng_);
+  const double delay =
+      config_.adversary_delay != nullptr
+          ? config_.adversary_delay->next_delay(
+                node_index, config_.topology.edges[edge_index].to)
+          : ch.delay->sample(channel_rng_);
   ABE_CHECK_GE(delay, 0.0);
   SimTime arrival = now() + delay;
   if (config_.ordering == ChannelOrdering::kFifo) {

@@ -62,6 +62,11 @@ struct NetworkConfig {
   Topology topology;
   // Delay model applied to every channel (per-channel overrides below).
   DelayModelPtr delay;
+  // When set, every message's delay is chosen by the adversary instead of
+  // sampled from `delay` (net/delay.h; build via make_bounded_adversary so
+  // the ABE per-channel mean bound is enforced). nullptr keeps the honest
+  // sampling path untouched — no extra RNG draws, bit-identical runs.
+  AdversaryPolicyPtr adversary_delay;
   ChannelOrdering ordering = ChannelOrdering::kArbitrary;
   // Clock model (Definition 1(2)).
   ClockBounds clock_bounds{};

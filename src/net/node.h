@@ -85,6 +85,14 @@ class Node {
   // True when this node has reached a terminal state; runtimes may use this
   // to stop tick generation for the node.
   virtual bool is_terminated() const { return false; }
+
+  // The algorithm node answering result-extraction queries. Decorators that
+  // wrap an algorithm node (adversary/faulty_node.h) forward this to the
+  // wrapped node, so drivers can downcast rt.node(i).algorithm_node() to the
+  // concrete algorithm type without knowing whether a fault profile is
+  // interposed. Plain algorithm nodes are their own algorithm_node.
+  virtual Node& algorithm_node() { return *this; }
+  virtual const Node& algorithm_node() const { return *this; }
 };
 
 using NodePtr = std::unique_ptr<Node>;

@@ -36,6 +36,7 @@ NetworkConfig SimRuntime::to_network_config(RuntimeConfig config) {
   NetworkConfig net;
   net.topology = std::move(config.topology);
   net.delay = std::move(config.delay);
+  net.adversary_delay = std::move(config.adversary_delay);
   net.ordering = config.ordering;
   net.clock_bounds = config.clock_bounds;
   net.drift = config.drift;
@@ -105,6 +106,7 @@ ThreadNetConfig ThreadRuntime::to_thread_config(const RuntimeConfig& config) {
   ThreadNetConfig net;
   net.topology = config.topology;
   net.delay = config.delay;
+  net.adversary_delay = config.adversary_delay;
   net.time_scale_us = config.time_scale_us;
   net.clock_bounds = config.clock_bounds;
   net.drift = config.drift;

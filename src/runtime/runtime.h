@@ -61,6 +61,12 @@ bool runtime_kind_from_name(const std::string& name, RuntimeKind* out);
 struct RuntimeConfig {
   Topology topology;
   DelayModelPtr delay;  // failure-degrade wrapping already applied
+  // When set, overrides `delay` for every channel: the adversary chooses
+  // each message's delay (stateful, edge-aware) instead of sampling the
+  // model. Build only via make_bounded_adversary (adversary/delay_policy.h),
+  // which enforces the ABE empirical-mean bound per channel. Both runtimes
+  // honor it; nullptr keeps the honest sampling path byte-for-byte.
+  AdversaryPolicyPtr adversary_delay;
   ChannelOrdering ordering = ChannelOrdering::kArbitrary;  // sim only
   ClockBounds clock_bounds{};
   DriftModel drift = DriftModel::kNone;
@@ -113,6 +119,11 @@ struct TrialOutcome {
   bool completed = false;   // done-predicate held before the deadline
   bool safety_ok = false;   // algorithm's safety postconditions
   std::string safety_detail;
+  // Refinement of !completed: the run went quiescent with no way to make
+  // further progress (e.g. the ring election's all-passive deadlock under
+  // loss) rather than still working when the deadline hit. Always false
+  // when completed.
+  bool stalled = false;
   SimTime time = 0.0;       // completion time (sim units on both runtimes)
   std::uint64_t messages = 0;
 };

@@ -40,7 +40,12 @@ class ThreadNetwork::ThreadContext final : public Context {
       return;
     }
 
-    const double delay = net_->config_.delay->sample(self_slot.rng);
+    // Policies synchronise internally (make_bounded_adversary) — this call
+    // runs concurrently from every node thread.
+    const double delay =
+        net_->config_.adversary_delay != nullptr
+            ? net_->config_.adversary_delay->next_delay(index_, to)
+            : net_->config_.delay->sample(self_slot.rng);
     MailItem item;
     item.kind = MailItem::Kind::kMessage;
     item.due = net_->sim_to_wall(delay);

@@ -38,6 +38,10 @@ namespace abe {
 struct ThreadNetConfig {
   Topology topology;
   DelayModelPtr delay;               // per-channel delay (sim units)
+  // When set, the adversary chooses every message's delay instead of
+  // sampling `delay` (net/delay.h). Policies are called concurrently from
+  // node threads and synchronise internally (make_bounded_adversary).
+  AdversaryPolicyPtr adversary_delay;
   double time_scale_us = 1000.0;     // wall microseconds per sim unit
   // Clock-drift band [s_low, s_high] (Definition 1(2)), mirroring the
   // simulator's NetworkConfig. kNone pins every rate to exactly 1;

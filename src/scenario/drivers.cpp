@@ -4,6 +4,9 @@
 #include <sstream>
 #include <utility>
 
+#include "adversary/delay_policy.h"
+#include "adversary/faulty_node.h"
+#include "adversary/unsafe_toy.h"
 #include "algo/gossip.h"
 #include "algo/polling_election.h"
 #include "core/election.h"
@@ -29,6 +32,10 @@ Topology build_trial_topology(const ScenarioSpec& spec, std::uint64_t seed) {
   return spec.topology.build(rng);
 }
 
+bool spec_is_adversarial(const ScenarioSpec& spec) {
+  return !spec.behavior.is_honest() || !spec.adversary.empty();
+}
+
 ScenarioTrialDriver make_ring_binding(const ScenarioSpec& spec) {
   ElectionExperiment e;
   e.n = spec.topology.n;
@@ -36,6 +43,14 @@ ScenarioTrialDriver make_ring_binding(const ScenarioSpec& spec) {
       spec.a0 > 0.0 ? spec.a0 : linear_regime_a0(spec.topology.n);
   e.loss_probability = spec.failure.channel_loss();
   e.settle_time = spec.settle_time;
+  if (spec_is_adversarial(spec)) {
+    // Equivocated tokens legally violate the honest ring's hop/d
+    // invariants; drop them instead of aborting, and relax the honest-
+    // environment postconditions (core/harness.h) so the probe measures
+    // leader uniqueness, not decoration side effects.
+    e.election.tolerate_protocol_violation = true;
+    e.adversarial = true;
+  }
 
   auto sink = std::make_shared<ElectionRunResult>();
   ScenarioTrialDriver binding;
@@ -46,6 +61,62 @@ ScenarioTrialDriver make_ring_binding(const ScenarioSpec& spec) {
   binding.project = [sink](const TrialOutcome& outcome) { return outcome; };
   return binding;
 }
+
+ScenarioTrialDriver make_unsafe_toy_binding() {
+  ScenarioTrialDriver binding;
+  binding.driver = make_unsafe_toy_driver();
+  binding.project = [](const TrialOutcome& outcome) { return outcome; };
+  return binding;
+}
+
+// Decorates another driver's nodes with FaultyNode wrappers per the
+// behavior spec; everything else delegates. The decoration is runtime-
+// agnostic — FaultyNode is just another Node, so the thread runtime gives
+// it a thread like any other.
+class BehaviorDecoratedDriver final : public AlgorithmDriver {
+ public:
+  BehaviorDecoratedDriver(std::unique_ptr<AlgorithmDriver> inner,
+                          BehaviorSpec behavior, std::size_t n,
+                          std::uint64_t seed, SimTime deadline)
+      : inner_(std::move(inner)), behavior_(behavior), n_(n), seed_(seed),
+        deadline_(deadline) {
+    ABE_CHECK(inner_ != nullptr);
+  }
+
+  void configure(RuntimeConfig& config) override { inner_->configure(config); }
+
+  NodePtr make_node(std::size_t index) override {
+    double crash_time = behavior_.param;
+    if (behavior_.profile == BehaviorProfile::kCrashRandom &&
+        behavior_.afflicts(index, n_)) {
+      // Deterministic per (seed, index); a substream so the honest
+      // randomness (topology, channels, clocks) is untouched. Early in the
+      // run (first quarter of the deadline) — a crash the trial never
+      // reaches measures nothing.
+      crash_time = Rng(seed_)
+                       .substream("adversary-crash", index)
+                       .uniform(0.0, deadline_ / 4.0);
+    }
+    return maybe_wrap_faulty(inner_->make_node(index), behavior_, index, n_,
+                             crash_time);
+  }
+
+  bool done(const Runtime& rt) override { return inner_->done(rt); }
+  void on_complete(Runtime& rt) override { inner_->on_complete(rt); }
+  void settle(Runtime& rt, bool completed) override {
+    inner_->settle(rt, completed);
+  }
+  TrialOutcome extract(Runtime& rt, bool completed) override {
+    return inner_->extract(rt, completed);
+  }
+
+ private:
+  std::unique_ptr<AlgorithmDriver> inner_;
+  const BehaviorSpec behavior_;
+  const std::size_t n_;
+  const std::uint64_t seed_;
+  const SimTime deadline_;
+};
 
 ScenarioTrialDriver make_polling_binding(const ScenarioSpec& spec,
                                          const Topology& topology) {
@@ -129,22 +200,39 @@ ScenarioTrialDriver make_beta_sync_binding(const Topology& topology) {
 }  // namespace
 
 ScenarioTrialDriver make_scenario_driver(const ScenarioSpec& spec,
-                                         const Topology& topology) {
+                                         const Topology& topology,
+                                         std::uint64_t seed) {
   ABE_CHECK(scenario_algorithm_supports(spec.algorithm, spec.topology.family))
       << scenario_algorithm_name(spec.algorithm) << " cannot run on "
       << topology_family_name(spec.topology.family);
+  const std::string behavior_problem = behavior_cell_problem(spec);
+  ABE_CHECK(behavior_problem.empty())
+      << spec.cell_id() << ": " << behavior_problem;
+  ScenarioTrialDriver binding;
   switch (spec.algorithm) {
     case ScenarioAlgorithm::kRingElection:
-      return make_ring_binding(spec);
+      binding = make_ring_binding(spec);
+      break;
     case ScenarioAlgorithm::kPollingElection:
-      return make_polling_binding(spec, topology);
+      binding = make_polling_binding(spec, topology);
+      break;
     case ScenarioAlgorithm::kGossip:
-      return make_gossip_binding(spec, topology);
+      binding = make_gossip_binding(spec, topology);
+      break;
     case ScenarioAlgorithm::kBetaSync:
-      return make_beta_sync_binding(topology);
+      binding = make_beta_sync_binding(topology);
+      break;
+    case ScenarioAlgorithm::kUnsafeToy:
+      binding = make_unsafe_toy_binding();
+      break;
   }
-  ABE_CHECK(false) << "unhandled algorithm";
-  return {};
+  ABE_CHECK(binding.driver != nullptr) << "unhandled algorithm";
+  if (!spec.behavior.is_honest()) {
+    binding.driver = std::make_unique<BehaviorDecoratedDriver>(
+        std::move(binding.driver), spec.behavior, spec.topology.n, seed,
+        spec.deadline);
+  }
+  return binding;
 }
 
 RuntimeConfig scenario_runtime_config(const ScenarioSpec& spec,
@@ -162,6 +250,16 @@ RuntimeConfig scenario_runtime_config(const ScenarioSpec& spec,
   config.deadline = spec.deadline;
   config.time_scale_us = spec.thread_time_scale_us;
   config.wall_timeout_ms = spec.thread_wall_timeout_ms;
+  if (!spec.adversary.empty()) {
+    // Fresh policy per trial: the per-channel delay accounts are trial
+    // state. The bound is the (failure-degraded) model's advertised mean —
+    // the δ the ABE contract lets the algorithm rely on.
+    bool known = false;
+    config.adversary_delay = make_named_adversary(
+        spec.adversary, config.delay->mean_delay(), &known);
+    ABE_CHECK(known) << "unknown adversary policy '" << spec.adversary
+                     << "'";
+  }
   return config;
 }
 
@@ -175,10 +273,43 @@ ScenarioTrialResult run_scenario_trial(const ScenarioSpec& spec,
   // The ring election runs on the unidirectional ring its spec names; all
   // other algorithms take the materialised (possibly random) graph.
   const Topology topology = build_trial_topology(spec, seed);
-  ScenarioTrialDriver binding = make_scenario_driver(spec, topology);
+  ScenarioTrialDriver binding = make_scenario_driver(spec, topology, seed);
   const TrialOutcome outcome = run_algorithm_trial(
       spec.runtime, scenario_runtime_config(spec, topology, seed),
       *binding.driver);
+  return binding.project(outcome);
+}
+
+TrialOutcome replay_scenario_trial(const ScenarioSpec& spec,
+                                   std::uint64_t seed,
+                                   std::string* trace_out) {
+  ABE_CHECK(trace_out != nullptr);
+  ABE_CHECK(spec.runtime == RuntimeKind::kSim)
+      << "only simulator trials are replayable (thread trials are "
+         "wall-clock nondeterministic)";
+
+  const Topology topology = build_trial_topology(spec, seed);
+  ScenarioTrialDriver binding = make_scenario_driver(spec, topology, seed);
+  RuntimeConfig config = scenario_runtime_config(spec, topology, seed);
+  config.trace = true;
+
+  // run_algorithm_trial's exact lifecycle, inlined on a concrete
+  // SimRuntime so the trace can be harvested before the runtime dies.
+  // Trace recording observes event order without consuming randomness, so
+  // the replayed outcome is bit-identical to the original trial's.
+  binding.driver->configure(config);
+  const SimTime deadline = config.deadline;
+  SimRuntime rt(std::move(config));
+  rt.build_nodes(
+      [&](std::size_t i) { return binding.driver->make_node(i); });
+  rt.start();
+  const bool completed = rt.run_until_done(
+      [&] { return binding.driver->done(rt); }, deadline);
+  if (completed) binding.driver->on_complete(rt);
+  binding.driver->settle(rt, completed);
+  rt.stop();
+  TrialOutcome outcome = binding.driver->extract(rt, completed);
+  *trace_out = rt.network().trace().to_string();
   return binding.project(outcome);
 }
 

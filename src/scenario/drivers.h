@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "runtime/runtime.h"
 #include "scenario/scenario.h"
@@ -36,9 +37,23 @@ struct ScenarioTrialDriver {
 
 // Builds the binding for one trial of `spec` on the already-materialised
 // `topology`. Aborts on structurally unsupported (algorithm, topology)
-// pairs — expand() and the CLI filter those earlier.
+// pairs — expand() and the CLI filter those earlier. Non-honest behavior
+// profiles wrap the afflicted nodes in FaultyNode decorators; `seed` feeds
+// the crash-random profile's per-node crash-time draws (a substream, so
+// honest randomness is untouched).
 ScenarioTrialDriver make_scenario_driver(const ScenarioSpec& spec,
-                                         const Topology& topology);
+                                         const Topology& topology,
+                                         std::uint64_t seed);
+
+// Re-runs one trial of `spec` on the DETERMINISTIC simulator with trace
+// recording enabled and writes the full event transcript to *trace_out —
+// how a safety-violation seed captured in a sweep JSON is replayed and
+// inspected. Aborts when the spec's runtime is not the simulator (thread
+// trials are wall-clock nondeterministic; their seeds are not replayable
+// by construction).
+TrialOutcome replay_scenario_trial(const ScenarioSpec& spec,
+                                   std::uint64_t seed,
+                                   std::string* trace_out);
 
 // The spec's environment as a runtime-agnostic RuntimeConfig for the given
 // trial seed (failure-degrade wrapping applied to the delay model, channel

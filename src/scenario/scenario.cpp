@@ -1,8 +1,10 @@
 #include "scenario/scenario.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
+#include "adversary/delay_policy.h"
 #include "core/election.h"
 #include "util/check.h"
 
@@ -231,6 +233,65 @@ DelayModelPtr FailureProfile::apply(DelayModelPtr base) const {
                                          degrade_factor);
 }
 
+namespace {
+
+// Longest-prefix double parse; returns false when nothing was consumed or
+// the value is negative (no failure knob is). strtod would happily consume
+// hexadecimal floats ("0x1" -> 1.0), but this grammar uses 'x' as a field
+// separator ("degrade-<q>x<f>"), so the scan stops at the first 'x'.
+bool parse_failure_number(const char* text, double* value,
+                          const char** rest) {
+  std::string token(text);
+  const std::size_t cut = token.find_first_of("xX");
+  if (cut != std::string::npos) token.resize(cut);
+  char* end = nullptr;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || parsed < 0.0) return false;
+  *value = parsed;
+  *rest = text + (end - token.c_str());
+  return true;
+}
+
+}  // namespace
+
+bool FailureProfile::parse(const std::string& text, FailureProfile* out) {
+  ABE_CHECK(out != nullptr);
+  if (text == "none") {
+    *out = FailureProfile::none();
+    return true;
+  }
+  if (text.rfind("loss-", 0) == 0) {
+    double p = 0.0;
+    const char* rest = nullptr;
+    if (!parse_failure_number(text.c_str() + 5, &p, &rest)) return false;
+    if (*rest != '\0' || p > 1.0) return false;
+    // Direct field construction, not the loss() factory: the factory
+    // rejects p = 1 (an everything-lost sweep cell is useless), but
+    // describe()/parse() must round-trip any profile that already exists —
+    // the network layer accepts the full closed interval.
+    FailureProfile f;
+    f.kind = Kind::kLoss;
+    f.loss_probability = p;
+    *out = f;
+    return true;
+  }
+  if (text.rfind("degrade-", 0) == 0) {
+    double q = 0.0, factor = 0.0;
+    const char* rest = nullptr;
+    if (!parse_failure_number(text.c_str() + 8, &q, &rest)) return false;
+    if (*rest != 'x' || q > 1.0) return false;
+    if (!parse_failure_number(rest + 1, &factor, &rest)) return false;
+    if (*rest != '\0' || factor < 1.0) return false;
+    FailureProfile f;
+    f.kind = Kind::kDegrade;
+    f.degrade_probability = q;
+    f.degrade_factor = factor;
+    *out = f;
+    return true;
+  }
+  return false;
+}
+
 std::string FailureProfile::describe() const {
   std::ostringstream os;
   switch (kind) {
@@ -259,6 +320,8 @@ const char* scenario_algorithm_name(ScenarioAlgorithm algorithm) {
       return "gossip";
     case ScenarioAlgorithm::kBetaSync:
       return "beta-sync";
+    case ScenarioAlgorithm::kUnsafeToy:
+      return "unsafe-toy";
   }
   return "?";
 }
@@ -266,7 +329,8 @@ const char* scenario_algorithm_name(ScenarioAlgorithm algorithm) {
 ScenarioAlgorithm scenario_algorithm_from_name(const std::string& name) {
   for (ScenarioAlgorithm a :
        {ScenarioAlgorithm::kRingElection, ScenarioAlgorithm::kPollingElection,
-        ScenarioAlgorithm::kGossip, ScenarioAlgorithm::kBetaSync}) {
+        ScenarioAlgorithm::kGossip, ScenarioAlgorithm::kBetaSync,
+        ScenarioAlgorithm::kUnsafeToy}) {
     if (name == scenario_algorithm_name(a)) return a;
   }
   ABE_CHECK(false) << "unknown scenario algorithm '" << name << "'";
@@ -288,6 +352,10 @@ bool scenario_algorithm_supports(ScenarioAlgorithm algorithm,
     case ScenarioAlgorithm::kBetaSync:
       // β acks every app message and talks both ways along its tree.
       return family != TopologyFamily::kRingUni;
+    case ScenarioAlgorithm::kUnsafeToy:
+      // Pinned to the paper's topology: the toy exists to exercise the
+      // ring safety probe, not to be a real algorithm.
+      return family == TopologyFamily::kRingUni;
   }
   return false;
 }
@@ -314,7 +382,36 @@ std::string ScenarioSpec::cell_id() const {
   if (runtime != RuntimeKind::kSim) {
     os << "/rt-" << runtime_kind_name(runtime);
   }
+  if (!behavior.is_honest()) {
+    os << "/beh-" << behavior.describe();
+  }
+  if (!adversary.empty()) {
+    os << "/adv-" << adversary;
+  }
   return os.str();
+}
+
+std::string behavior_cell_problem(const ScenarioSpec& spec) {
+  if (!spec.behavior.is_honest()) {
+    const std::string problem = spec.behavior.problem(spec.topology.n);
+    if (!problem.empty()) return problem;
+    if (spec.algorithm != ScenarioAlgorithm::kRingElection &&
+        spec.algorithm != ScenarioAlgorithm::kUnsafeToy) {
+      return std::string("behavior profiles are realised for the ring "
+                         "election only; ") +
+             scenario_algorithm_name(spec.algorithm) +
+             " keeps honest-run invariants as hard checks";
+    }
+  }
+  if (!spec.adversary.empty()) {
+    bool known = false;
+    make_named_adversary(spec.adversary, /*bound=*/1.0, &known);
+    if (!known) {
+      return "unknown adversary policy '" + spec.adversary +
+             "' (known: targeted, burst-stall)";
+    }
+  }
+  return "";
 }
 
 std::string runtime_cell_problem(const ScenarioSpec& spec) {
@@ -349,7 +446,9 @@ std::string ScenarioSpec::describe() const {
      << "delay    : " << delay_name << " (mean " << mean_delay << ")\n"
      << "clocks   : " << DriftBand{clock_bounds, drift}.describe() << "\n"
      << "process  : gamma=" << processing.mean << "\n"
-     << "failure  : " << failure.describe() << "\n";
+     << "failure  : " << failure.describe() << "\n"
+     << "behavior : " << behavior.describe() << "\n"
+     << "adversary: " << (adversary.empty() ? "none" : adversary) << "\n";
   if (algorithm == ScenarioAlgorithm::kRingElection) {
     os << "a0       : "
        << (a0 > 0.0 ? std::to_string(a0)
@@ -514,6 +613,10 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
   if (equeue_axis.empty()) equeue_axis.push_back(base.equeue);
   std::vector<RuntimeKind> runtime_axis = runtimes;
   if (runtime_axis.empty()) runtime_axis.push_back(base.runtime);
+  std::vector<BehaviorSpec> behavior_axis = behaviors;
+  if (behavior_axis.empty()) behavior_axis.push_back(base.behavior);
+  std::vector<std::string> adversary_axis = adversaries;
+  if (adversary_axis.empty()) adversary_axis.push_back(base.adversary);
 
   std::vector<ScenarioSpec> cells;
   for (ScenarioAlgorithm algorithm : algorithms) {
@@ -524,22 +627,31 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
           for (const FailureProfile& failure : failure_axis) {
             for (EqueueBackend equeue : equeue_axis) {
               for (RuntimeKind runtime : runtime_axis) {
-                ScenarioSpec cell = base;
-                cell.name.clear();
-                cell.description = description;
-                cell.algorithm = algorithm;
-                cell.topology = topology;
-                cell.delay_name = delay_name;
-                cell.mean_delay = mean;
-                cell.clock_bounds = drift.bounds;
-                cell.drift = drift.model;
-                cell.failure = failure;
-                cell.equeue = equeue;
-                cell.runtime = runtime;
-                // Same silent-filter policy as algorithm×topology: a broad
-                // {sim, thread} axis keeps only its realisable half.
-                if (!runtime_cell_problem(cell).empty()) continue;
-                cells.push_back(std::move(cell));
+                for (const BehaviorSpec& behavior : behavior_axis) {
+                  for (const std::string& adversary : adversary_axis) {
+                    ScenarioSpec cell = base;
+                    cell.name.clear();
+                    cell.description = description;
+                    cell.algorithm = algorithm;
+                    cell.topology = topology;
+                    cell.delay_name = delay_name;
+                    cell.mean_delay = mean;
+                    cell.clock_bounds = drift.bounds;
+                    cell.drift = drift.model;
+                    cell.failure = failure;
+                    cell.equeue = equeue;
+                    cell.runtime = runtime;
+                    cell.behavior = behavior;
+                    cell.adversary = adversary;
+                    // Same silent-filter policy as algorithm×topology: a
+                    // broad {sim, thread} axis keeps only its realisable
+                    // half, and a behavior axis keeps only the algorithms
+                    // that realise the profile.
+                    if (!runtime_cell_problem(cell).empty()) continue;
+                    if (!behavior_cell_problem(cell).empty()) continue;
+                    cells.push_back(std::move(cell));
+                  }
+                }
               }
             }
           }
@@ -636,6 +748,38 @@ std::vector<ScenarioMatrix> build_sweeps() {
     // Lossy cells can stall (see the failure sweep); fail fast on both
     // substrates — the sim deadline scales to a ~4 s wall budget per
     // thread trial, under the 10 s hard cap.
+    m.base.default_trials = 4;
+    m.base.deadline = 2e4;
+    m.base.thread_wall_timeout_ms = 10000.0;
+    sweeps.push_back(std::move(m));
+  }
+
+  // Adversarial sweep: the ring election under node misbehavior (one
+  // crashing / equivocating / reordering node) combined with a
+  // bound-respecting targeted delay adversary, on both substrates. The
+  // safety probe classifies every trial as completed-safe, stalled (a
+  // crashed node kills token circulation — the ring goes quiescent with no
+  // leader), failed, or SAFETY-VIOLATION; violations record replayable
+  // seeds in the sweep JSON. Crash cells must show zero violations —
+  // crashing is the benign fault the election's knockout logic already
+  // absorbs; the Byzantine profiles are the probe's reason to exist.
+  {
+    ScenarioMatrix m;
+    m.name = "adversary";
+    m.description =
+        "ring election x {crash, equivocate, reorder} x targeted-delay "
+        "adversary x {sim, thread}";
+    m.algorithms = {ScenarioAlgorithm::kRingElection};
+    m.topologies = {TopologySpec{TopologyFamily::kRingUni, 8, 0.0}};
+    m.delays = {{"exponential", 1.0}};
+    m.behaviors = {BehaviorSpec{BehaviorProfile::kCrashAtT, 1, 50.0},
+                   BehaviorSpec{BehaviorProfile::kEquivocate, 1, 0.0},
+                   BehaviorSpec{BehaviorProfile::kReorder, 1, 4.0}};
+    m.adversaries = {"targeted"};
+    m.runtimes = {RuntimeKind::kSim, RuntimeKind::kThread};
+    // Crash cells can stall (tokens die at the crashed node until no idle
+    // node is left); fail fast on both substrates, same budget rationale
+    // as the cross-runtime sweep.
     m.base.default_trials = 4;
     m.base.deadline = 2e4;
     m.base.thread_wall_timeout_ms = 10000.0;

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/behavior.h"
 #include "clock/local_clock.h"
 #include "net/delay.h"
 #include "net/network.h"
@@ -96,6 +97,21 @@ struct FailureProfile {
   static FailureProfile loss(double p);
   static FailureProfile degrade(double probability, double factor);
 
+  // Parses the strings describe() prints ("none", "loss-0.01",
+  // "degrade-0.1x20"); returns false on anything else. The inverse of
+  // describe(): parse(describe()) == *this, including the p = 1 edge the
+  // loss() factory rejects (a sweep should never construct the everything-
+  // lost regime, but a CLI round-trip of an existing profile must not
+  // abort). The validation boundary for user input (--failure).
+  static bool parse(const std::string& text, FailureProfile* out);
+
+  bool operator==(const FailureProfile& other) const {
+    return kind == other.kind &&
+           loss_probability == other.loss_probability &&
+           degrade_probability == other.degrade_probability &&
+           degrade_factor == other.degrade_factor;
+  }
+
   // Channel-level loss handed to the runtime (kLoss only).
   double channel_loss() const {
     return kind == Kind::kLoss ? loss_probability : 0.0;
@@ -118,6 +134,12 @@ enum class ScenarioAlgorithm : std::uint8_t {
   kBetaSync,         // β-synchronized max consensus (syncr/beta): runs
                      // diameter-many rounds; safe when every node outputs
                      // the global maximum
+  kUnsafeToy,        // deliberately-broken election (adversary/unsafe_toy)
+                     // that elects >= 2 leaders by construction. Exists to
+                     // prove the safety-probe layer catches violations;
+                     // MUST never be registered as a scenario preset (the
+                     // registry invariant is that every preset's smoke
+                     // trial is safe)
 };
 
 const char* scenario_algorithm_name(ScenarioAlgorithm algorithm);
@@ -142,6 +164,18 @@ struct ScenarioSpec {
   DriftModel drift = DriftModel::kNone;
   ProcessingModel processing = ProcessingModel::zero();
   FailureProfile failure{};
+
+  // Byzantine/crash behavior axis (adversary/behavior.h): which nodes run
+  // behind a FaultyNode decorator and how they misbehave. Honest by
+  // default; non-honest profiles are realised for the ring election only —
+  // gate with behavior_cell_problem() before running.
+  BehaviorSpec behavior{};
+  // Adversarial delay policy by name (adversary/delay_policy.h:
+  // make_named_adversary — "targeted", "burst-stall"); empty means the
+  // spec's honest stochastic delay model. The policy's expected-delay
+  // bound is the (failure-degraded) delay model's mean, so the adversary
+  // stays inside the ABE contract the algorithm was promised.
+  std::string adversary;
 
   // Ring election only: base activation parameter; 0 means the calibrated
   // linear regime A0 = c/n² (core/election.h).
@@ -171,7 +205,9 @@ struct ScenarioSpec {
   // "/eq-<backend>" when a non-default event queue is pinned (so a
   // backend-swept matrix keeps unique ids without disturbing existing
   // auto-backend ids), plus "/rt-thread" when the cell runs on the thread
-  // runtime (simulator cells keep their pre-runtime-axis ids).
+  // runtime (simulator cells keep their pre-runtime-axis ids), plus
+  // "/beh-<behavior>" and "/adv-<policy>" when the adversary axes are
+  // non-default (honest cells keep their pre-adversary ids).
   std::string cell_id() const;
   // Multi-line human rendering for `abe_scenarios describe`.
   std::string describe() const;
@@ -184,6 +220,14 @@ struct ScenarioSpec {
 // budget (kMaxThreadRuntimeNodes). The validation boundary for user input
 // (CLI --runtime), where aborting is rude; mirrors TopologySpec::problem.
 std::string runtime_cell_problem(const ScenarioSpec& spec);
+
+// Why this cell's adversary axes are invalid — empty when they are fine.
+// Rejects malformed behavior specs (BehaviorSpec::problem), non-honest
+// behavior on algorithms other than the ring election / unsafe toy (their
+// drivers keep honest-run invariants as hard checks), and unknown
+// adversary policy names. Same validation-boundary role as
+// runtime_cell_problem; expand() filters violating combinations silently.
+std::string behavior_cell_problem(const ScenarioSpec& spec);
 
 // ---------------------------------------------------------------------------
 // Registry
@@ -219,10 +263,18 @@ struct ScenarioMatrix {
   // axis runs every realisable cell on both — the cross-runtime fidelity
   // check the ABE model positions itself for.
   std::vector<RuntimeKind> runtimes;
+  // Node behavior profiles; empty means {base.behavior} (honest). Only
+  // cells whose algorithm realises the profile survive expansion
+  // (behavior_cell_problem).
+  std::vector<BehaviorSpec> behaviors;
+  // Adversarial delay policies by name; empty means {base.adversary}.
+  std::vector<std::string> adversaries;
 
   // The cross product, minus structurally impossible (algorithm, topology)
-  // pairs and thread cells the thread runtime cannot realise
-  // (runtime_cell_problem). Every returned spec carries a unique cell_id().
+  // pairs, thread cells the thread runtime cannot realise
+  // (runtime_cell_problem), and adversary combinations the drivers cannot
+  // realise (behavior_cell_problem). Every returned spec carries a unique
+  // cell_id().
   std::vector<ScenarioSpec> expand() const;
 };
 

@@ -16,7 +16,13 @@ void ScenarioAggregate::merge(const ScenarioAggregate& other) {
   time.merge(other.time);
   trials += other.trials;
   failures += other.failures;
+  stalled += other.stalled;
   safety_violations += other.safety_violations;
+  // Seed-ordered: chunks are merged in seed order (trial_pool contract)
+  // and each chunk appends its seeds ascending.
+  violation_seeds.insert(violation_seeds.end(),
+                         other.violation_seeds.begin(),
+                         other.violation_seeds.end());
 }
 
 ScenarioAggregate run_scenario_trials(const ScenarioSpec& spec,
@@ -31,11 +37,19 @@ ScenarioAggregate run_scenario_trials(const ScenarioSpec& spec,
           const ScenarioTrialResult run = run_scenario_trial(spec, s);
           ++out.trials;
           if (!run.completed) {
-            ++out.failures;
+            if (run.stalled) {
+              ++out.stalled;
+            } else {
+              ++out.failures;
+            }
             continue;
           }
           if (!run.safety_ok) {
             ++out.safety_violations;
+            // The capture that makes a violation actionable: replay this
+            // seed via replay_scenario_trial (or `abe_scenarios replay`)
+            // to get the full event trace.
+            out.violation_seeds.push_back(s);
           }
           out.messages.add(static_cast<double>(run.messages));
           out.time.add(run.time);
@@ -94,7 +108,7 @@ std::string json_escape(const std::string& s) {
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes) {
   os << "{\n"
-     << "  \"schema\": \"abe-scenario-sweep-v3\",\n"
+     << "  \"schema\": \"abe-scenario-sweep-v4\",\n"
      << "  \"metadata\": {\n"
      << "    \"git_sha\": \"" << json_escape(metadata.git_sha) << "\",\n"
      << "    \"compiler\": \"" << json_escape(metadata.compiler) << "\",\n"
@@ -127,13 +141,30 @@ void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
        << drift_model_name(spec.drift) << "\"},\n"
        << "      \"failure\": \"" << json_escape(spec.failure.describe())
        << "\",\n"
+       << "      \"behavior\": \"" << json_escape(spec.behavior.describe())
+       << "\",\n"
+       << "      \"adversary\": \""
+       << json_escape(spec.adversary.empty() ? "none" : spec.adversary)
+       << "\",\n"
        << "      \"equeue\": \""
        << equeue_backend_name(spec.equeue) << "\",\n"
        << "      \"runtime\": \""
        << runtime_kind_name(spec.runtime) << "\",\n"
        << "      \"trials\": " << agg.trials << ",\n"
        << "      \"failures\": " << agg.failures << ",\n"
+       << "      \"stalled\": " << agg.stalled << ",\n"
        << "      \"safety_violations\": " << agg.safety_violations << ",\n"
+       << "      \"violation_seeds\": [";
+    // Cap the emitted list: the count above is authoritative, the seeds
+    // are a replay convenience — a pathological cell must not bloat the
+    // document.
+    constexpr std::size_t kMaxSeeds = 16;
+    const std::size_t emit =
+        std::min(agg.violation_seeds.size(), kMaxSeeds);
+    for (std::size_t k = 0; k < emit; ++k) {
+      os << (k == 0 ? "" : ", ") << agg.violation_seeds[k];
+    }
+    os << "],\n"
        << "      \"messages\": " << agg.messages.to_json() << ",\n"
        << "      \"time\": " << agg.time.to_json() << "\n    }";
   }
@@ -142,11 +173,11 @@ void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
 
 std::string render_sweep_table(
     const std::vector<SweepCellOutcome>& outcomes) {
-  Table table({"cell", "trials", "ok", "fail", "unsafe", "messages",
-               "time"});
+  Table table({"cell", "trials", "ok", "fail", "stall", "unsafe",
+               "messages", "time"});
   for (const SweepCellOutcome& outcome : outcomes) {
     const ScenarioAggregate& agg = outcome.aggregate;
-    // ok = completed AND safe, so ok + fail + unsafe == trials.
+    // ok = completed AND safe, so ok + fail + stall + unsafe == trials.
     const std::uint64_t ok =
         agg.messages.count() - agg.safety_violations;
     table.add_row(
@@ -154,6 +185,7 @@ std::string render_sweep_table(
          Table::fmt_int(static_cast<std::int64_t>(agg.trials)),
          Table::fmt_int(static_cast<std::int64_t>(ok)),
          Table::fmt_int(static_cast<std::int64_t>(agg.failures)),
+         Table::fmt_int(static_cast<std::int64_t>(agg.stalled)),
          Table::fmt_int(static_cast<std::int64_t>(agg.safety_violations)),
          Table::fmt(agg.messages.mean(), 1), Table::fmt(agg.time.mean(), 1)});
   }

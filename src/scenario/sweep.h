@@ -9,13 +9,15 @@
 // of the trial seed, so graph randomness is part of the Monte-Carlo estimate
 // and equally reproducible.
 //
-// The JSON document (schema "abe-scenario-sweep-v3") carries the same
+// The JSON document (schema "abe-scenario-sweep-v4") carries the same
 // provenance metadata as the BENCH_*.json perf trajectory — git sha,
 // compiler, build type, thread count, the event-queue backend, plus the
 // execution runtime — so sweep results are attributable to a commit,
 // toolchain, scheduler and substrate; bench/validate_scenarios.py checks
-// the structure (v2 documents, which predate the runtime axis, are still
-// accepted there).
+// the structure (v2/v3 documents, which predate the runtime and adversary
+// axes respectively, are still accepted there). v4 adds the safety-probe
+// fields: per-cell stalled counts, behavior/adversary axis values, and
+// the replayable seeds behind any safety violations.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +50,16 @@ struct ScenarioAggregate {
   Summary time;      // per-trial completion time
   std::uint64_t trials = 0;
   std::uint64_t failures = 0;           // missed the deadline
+  // Refinement split out of `failures`: went quiescent with no way to make
+  // progress (TrialOutcome::stalled — e.g. the ring's all-passive deadlock
+  // under loss, or a crash-severed ring) rather than still working at the
+  // deadline. trials == completed + failures + stalled.
+  std::uint64_t stalled = 0;
   std::uint64_t safety_violations = 0;  // completed but safety_ok == false
+  // The trial seeds behind safety_violations, in seed order (merge
+  // preserves it) — each replayable via replay_scenario_trial on
+  // simulator cells. The JSON emitter caps the list it prints.
+  std::vector<std::uint64_t> violation_seeds;
 
   void merge(const ScenarioAggregate& other);
 };
@@ -93,7 +104,7 @@ std::vector<SweepCellOutcome> run_sweep(
     std::uint64_t seed_base = 1, unsigned threads = 0,
     const SweepProgressFn& progress = nullptr);
 
-// Structured per-cell JSON, schema "abe-scenario-sweep-v3".
+// Structured per-cell JSON, schema "abe-scenario-sweep-v4".
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes);
 

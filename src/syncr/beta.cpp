@@ -221,7 +221,9 @@ class BetaSyncDriver final : public AlgorithmDriver {
     sink_->outputs.resize(rt.size());
     for (std::size_t i = 0; i < rt.size(); ++i) {
       sink_->outputs[i] =
-          static_cast<const BetaSyncNode&>(rt.node(i)).app().output();
+          static_cast<const BetaSyncNode&>(rt.node(i).algorithm_node())
+              .app()
+              .output();
     }
 
     TrialOutcome out;

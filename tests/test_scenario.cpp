@@ -298,9 +298,128 @@ TEST(ScenarioNames, RoundTrip) {
     EXPECT_STREQ(topology_family_name(topology_family_from_name(name)),
                  name);
   }
-  for (const char* name : {"abe-ring", "polling", "gossip", "beta-sync"}) {
+  for (const char* name :
+       {"abe-ring", "polling", "gossip", "beta-sync", "unsafe-toy"}) {
     EXPECT_STREQ(
         scenario_algorithm_name(scenario_algorithm_from_name(name)), name);
+  }
+}
+
+// --- failure-profile round-trip (describe <-> parse) ------------------------
+
+TEST(FailureProfileRoundTrip, DescribeParseAgreeIncludingEdgeValues) {
+  // Every profile must satisfy parse(describe()) == original, including
+  // the p = 0 and p = 1 loss edges. p = 1 cannot come from the loss()
+  // factory (it CHECKs p < 1 — an everything-lost cell is useless to
+  // sweep), which was an asymmetry: describe() could print profiles that
+  // parse() then had to reject. parse() constructs by field so the full
+  // closed interval round-trips.
+  std::vector<FailureProfile> profiles;
+  profiles.push_back(FailureProfile::none());
+  profiles.push_back(FailureProfile::loss(0.0));
+  profiles.push_back(FailureProfile::loss(0.005));
+  {
+    FailureProfile everything_lost;
+    everything_lost.kind = FailureProfile::Kind::kLoss;
+    everything_lost.loss_probability = 1.0;
+    profiles.push_back(everything_lost);
+  }
+  profiles.push_back(FailureProfile::degrade(0.0, 1.0));
+  profiles.push_back(FailureProfile::degrade(0.1, 20.0));
+  profiles.push_back(FailureProfile::degrade(1.0, 2.5));
+
+  for (const FailureProfile& profile : profiles) {
+    FailureProfile parsed;
+    ASSERT_TRUE(FailureProfile::parse(profile.describe(), &parsed))
+        << "unparseable: " << profile.describe();
+    EXPECT_TRUE(parsed == profile) << profile.describe();
+    EXPECT_EQ(parsed.describe(), profile.describe());
+  }
+}
+
+TEST(FailureProfileRoundTrip, ParseRejectsMalformedInput) {
+  FailureProfile out;
+  for (const char* bad :
+       {"", "nonsense", "loss-", "loss--0.1", "loss-1.5", "loss-0.1x2",
+        "degrade-", "degrade-0.1", "degrade-0.1x", "degrade-2x3",
+        "degrade-0.1x0.5", "loss-0.1extra"}) {
+    EXPECT_FALSE(FailureProfile::parse(bad, &out)) << bad;
+  }
+}
+
+// --- adversary axes ---------------------------------------------------------
+
+TEST(AdversaryAxis, CellIdCarriesSuffixesOnlyForAdversarialCells) {
+  ScenarioSpec spec;
+  const std::string honest_id = spec.cell_id();
+  EXPECT_EQ(honest_id.find("/beh-"), std::string::npos);
+  EXPECT_EQ(honest_id.find("/adv-"), std::string::npos);
+
+  spec.behavior = BehaviorSpec{BehaviorProfile::kEquivocate, 1, 0.0};
+  EXPECT_EQ(spec.cell_id(), honest_id + "/beh-equivocate-1");
+  spec.adversary = "targeted";
+  EXPECT_EQ(spec.cell_id(), honest_id + "/beh-equivocate-1/adv-targeted");
+  spec.behavior = BehaviorSpec{};
+  EXPECT_EQ(spec.cell_id(), honest_id + "/adv-targeted");
+}
+
+TEST(AdversaryAxis, ProblemsAreStructuralAndNamedWithoutAborting) {
+  ScenarioSpec spec;  // ring election on ring-uni
+  EXPECT_EQ(behavior_cell_problem(spec), "");
+
+  spec.behavior = BehaviorSpec{BehaviorProfile::kCrashAtT, 1, 50.0};
+  EXPECT_EQ(behavior_cell_problem(spec), "");
+
+  spec.behavior.count = spec.topology.n;  // no honest node left
+  EXPECT_NE(behavior_cell_problem(spec), "");
+  spec.behavior.count = 1;
+
+  spec.algorithm = ScenarioAlgorithm::kGossip;
+  EXPECT_NE(behavior_cell_problem(spec), "")
+      << "only the ring election realises behavior profiles";
+  spec.algorithm = ScenarioAlgorithm::kRingElection;
+
+  spec.adversary = "no-such-policy";
+  EXPECT_NE(behavior_cell_problem(spec), "");
+  spec.adversary = "targeted";
+  EXPECT_EQ(behavior_cell_problem(spec), "");
+}
+
+TEST(AdversaryAxis, AdversarySweepCoversProfilesOnBothSubstrates) {
+  const ScenarioMatrix* m = find_sweep("adversary");
+  ASSERT_NE(m, nullptr);
+  const auto cells = m->expand();
+  ASSERT_FALSE(cells.empty());
+  std::set<std::string> ids;
+  std::set<BehaviorProfile> profiles;
+  std::size_t thread_cells = 0;
+  for (const ScenarioSpec& cell : cells) {
+    EXPECT_TRUE(ids.insert(cell.cell_id()).second)
+        << "duplicate cell " << cell.cell_id();
+    EXPECT_EQ(cell.algorithm, ScenarioAlgorithm::kRingElection);
+    EXPECT_EQ(cell.adversary, "targeted");
+    EXPECT_FALSE(cell.behavior.is_honest());
+    profiles.insert(cell.behavior.profile);
+    if (cell.runtime == RuntimeKind::kThread) ++thread_cells;
+  }
+  EXPECT_TRUE(profiles.count(BehaviorProfile::kCrashAtT));
+  EXPECT_TRUE(profiles.count(BehaviorProfile::kEquivocate));
+  EXPECT_TRUE(profiles.count(BehaviorProfile::kReorder));
+  EXPECT_EQ(thread_cells * 2, cells.size())
+      << "every adversarial cell must run on both substrates";
+}
+
+TEST(AdversaryAxis, UnsafeToyIsNeverRegistered) {
+  // The registry invariant (RegistryScenarioTest) is that every preset's
+  // smoke trial is safe; the deliberately-broken toy must stay out.
+  for (const ScenarioSpec& s : scenario_registry()) {
+    EXPECT_NE(s.algorithm, ScenarioAlgorithm::kUnsafeToy) << s.name;
+  }
+  for (const ScenarioMatrix& m : sweep_registry()) {
+    for (const ScenarioSpec& cell : m.expand()) {
+      EXPECT_NE(cell.algorithm, ScenarioAlgorithm::kUnsafeToy)
+          << m.name << ": " << cell.cell_id();
+    }
   }
 }
 
@@ -351,7 +470,7 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   std::ostringstream os;
   write_sweep_json(os, meta, outcomes);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v3\""),
+  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v4\""),
             std::string::npos);
   EXPECT_NE(json.find("\"git_sha\": \"cafe123\""), std::string::npos);
   EXPECT_NE(json.find("\"trial_threads\": 4"), std::string::npos);
@@ -359,7 +478,11 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
             std::string::npos);
   EXPECT_NE(json.find("\"equeue\": \"auto\""), std::string::npos);
   EXPECT_NE(json.find("\"runtime\": \"sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"stalled\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"behavior\": \"honest\""), std::string::npos);
+  EXPECT_NE(json.find("\"adversary\": \"none\""), std::string::npos);
   EXPECT_NE(json.find("\"safety_violations\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"violation_seeds\": []"), std::string::npos);
   // Balanced braces: cheap structural sanity (CI runs the real validator,
   // bench/validate_scenarios.py, on emitted files).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),

@@ -28,6 +28,14 @@ that true, so this linter enforces them:
                   InlineAction::kInlineSize (48 bytes, no per-event
                   allocation) and must not dangle (deferred closures
                   outlive the enclosing scope).
+  adversary-delay No direct DelayModel construction inside src/adversary/:
+                  an adversarial delay policy must route every proposed
+                  delay through the BoundedAdversary budget wrapper
+                  (adversary/delay_policy.h), which is what keeps the
+                  empirical per-channel mean provably within the model's
+                  advertised expected-delay bound. A policy that spawns
+                  its own delay model bypasses that check and can violate
+                  the ABE contract silently.
 
 Suppressions (each names the rule, so waivers stay narrow):
   // abe-lint: allow(<rule>)        on the offending or preceding line
@@ -99,7 +107,21 @@ ENV_READ_ALLOWED_FILES = {
 SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:at|in)\s*\(")
 DEFAULT_CAPTURE_RE = re.compile(r"\[\s*[&=]\s*[,\]]")
 
-RULES = ("wall-clock", "unordered-iter", "env-read", "inline-capture")
+# --- adversary-delay -------------------------------------------------------
+
+# The explicit factory list from net/delay.h, NOT a `\w+_delay` wildcard:
+# the policy interface's own next_delay()/propose_delay() calls are
+# legitimate and must never trip this rule.
+DELAY_FACTORY_RE = re.compile(
+    r"\b(?:make_delay_model|fixed_delay|uniform_delay|exponential_delay|"
+    r"shifted_exponential_delay|erlang_delay|geometric_retransmission_delay|"
+    r"lomax_delay|bimodal_delay|weibull_delay|lognormal_delay|"
+    r"hyperexponential_delay)\s*\("
+)
+ADVERSARY_PATH_PREFIX = "src/adversary/"
+
+RULES = ("wall-clock", "unordered-iter", "env-read", "inline-capture",
+         "adversary-delay")
 
 
 class Finding:
@@ -250,12 +272,29 @@ def check_inline_capture(relpath, lines, add):
                 )
 
 
+def check_adversary_delay(relpath, lines, add):
+    if not relpath.startswith(ADVERSARY_PATH_PREFIX):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        if DELAY_FACTORY_RE.search(line):
+            add(
+                lineno,
+                "adversary-delay",
+                "direct DelayModel construction inside an adversary "
+                "policy: delays must flow through the BoundedAdversary "
+                "budget wrapper (adversary/delay_policy.h) so the "
+                "empirical per-channel mean stays within the advertised "
+                "bound — take the bound as a number, not a delay model",
+            )
+
+
 # (check, needs_string_literals) — env-read matches on the "ABE_" literal.
 CHECKS = (
     (check_wall_clock, False),
     (check_unordered_iter, False),
     (check_env_read, True),
     (check_inline_capture, False),
+    (check_adversary_delay, False),
 )
 
 
@@ -303,7 +342,11 @@ def iter_lintable(root, paths):
 
 
 FIXTURE_PATH_RE = re.compile(r"//\s*abe-lint-fixture-path:\s*(\S+)")
-FIXTURE_NAME_RE = re.compile(r"^(trip|pass)_([a-z-]+?)_[a-z0-9_]+\.cpp$")
+# Anchored to the known rule names: a lazy ([a-z-]+?) would misparse
+# "adversary-delay" as rule "adversary" (an underscore follows it).
+FIXTURE_NAME_RE = re.compile(
+    r"^(trip|pass)_(" + "|".join(re.escape(r) for r in RULES)
+    + r")_[a-z0-9_]+\.cpp$")
 
 
 def self_test(fixtures_dir):

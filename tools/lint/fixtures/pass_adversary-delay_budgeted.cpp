@@ -1,0 +1,18 @@
+// abe-lint-fixture-path: src/adversary/budgeted_policy.cpp
+// Must pass: the compliant shape. The policy receives the advertised
+// expected-delay bound as a number, expresses its schedule as proposed
+// delays, and every grant is clamped by the BoundedAdversary wrapper.
+// The next_delay() call also pins the rule's precision: the factory list
+// must never match the policy interface's own *_delay methods.
+
+namespace abe {
+
+double budgeted_policy_grant(double bound) {
+  auto schedule = [bound](std::uint64_t idx, std::uint64_t, std::uint64_t) {
+    return idx % 2 == 0 ? 0.0 : bound * 2.0;
+  };
+  auto policy = make_bounded_adversary("fixture", bound, schedule);
+  return policy->next_delay(0, 1, 0);
+}
+
+}  // namespace abe

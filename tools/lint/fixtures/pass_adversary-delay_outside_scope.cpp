@@ -1,0 +1,12 @@
+// abe-lint-fixture-path: src/scenario/drivers.cpp
+// Must pass: delay-model factories are the normal currency everywhere
+// OUTSIDE src/adversary/ — the rule is scoped to adversary policies only.
+
+namespace abe {
+
+double scenario_mean() {
+  auto model = exponential_delay(1.0);
+  return model->mean_delay();
+}
+
+}  // namespace abe

@@ -1,0 +1,15 @@
+// abe-lint-fixture-path: src/adversary/rogue_policy.cpp
+// Must trip: a policy under src/adversary/ that constructs its own delay
+// model bypasses the BoundedAdversary budget wrapper — nothing would check
+// its empirical per-channel mean against the advertised bound.
+
+namespace abe {
+
+double rogue_policy_mean() {
+  auto model = exponential_delay(2.0);
+  auto fallback = make_delay_model("fixed", 1.0);
+  (void)fallback;
+  return model->mean_delay();
+}
+
+}  // namespace abe
