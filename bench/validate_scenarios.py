@@ -3,15 +3,28 @@
 
   python3 bench/validate_scenarios.py sweep.json [more.json ...]
 
-Checks the structure the "abe-scenario-sweep-v4" schema promises — the
+Checks the structure the "abe-scenario-sweep-v5" schema promises — the
 metadata provenance block, per-cell axes (including the execution runtime
-and the adversarial behavior/adversary axes), and aggregate summaries —
-plus the one correctness gate a structural check can carry:
-safety_violations == 0 (a cell that elected two leaders is a bug, not a
-perf delta; the violation_seeds list in the document replays it). Older
-documents are still accepted: v2 is v3 minus the runtime fields, v3 is v4
-minus the adversary/safety-probe fields. Exit codes: 0 valid, 1 schema
-violation or safety violation, 2 unreadable input.
+and the adversarial behavior/adversary axes), aggregate summaries, and the
+v5 observability block — plus the one correctness gate a structural check
+can carry: safety_violations == 0 (a cell that elected two leaders is a
+bug, not a perf delta; the violation_seeds list in the document replays
+it). Older documents are still accepted: v2 is v3 minus the runtime
+fields, v3 is v4 minus the adversary/safety-probe fields, v4 is v5 minus
+the observability block. Exit codes: 0 valid, 1 schema violation or
+safety violation, 2 unreadable input.
+
+v5 observability block, per cell:
+  "metrics": array of metric entries sorted ascending by "name"; each has
+      "name" (str), "kind" ("counter" | "gauge" | "histogram") and either
+      "value" (number; counters and gauges) or "bounds" + "counts"
+      (histograms: bounds is the ascending upper-bound list, counts has
+      len(bounds) + 1 entries — the last is the overflow bucket).
+      Simulator cells produce this block deterministically: same seed
+      base, same thread count or not, bit-identical values.
+  "wall": object with numeric "build_ms" / "run_ms" / "settle_ms" —
+      summed wall-clock phase times across the cell's trials. Real
+      elapsed time; never compared for determinism.
 
 CI runs this in the scenario-smoke job; it is dependency-free on purpose
 (stdlib json only).
@@ -21,7 +34,15 @@ import json
 import sys
 
 SCHEMAS = ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3",
-           "abe-scenario-sweep-v4")
+           "abe-scenario-sweep-v4", "abe-scenario-sweep-v5")
+
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+WALL_FIELDS = {
+    "build_ms": (int, float),
+    "run_ms": (int, float),
+    "settle_ms": (int, float),
+}
 
 METADATA_FIELDS = {
     "git_sha": str,
@@ -80,12 +101,48 @@ def check_fields(path, obj, fields, where):
     return True
 
 
+def validate_metrics(path, metrics, where):
+    """Checks one cell's v5 metrics array (see module docstring)."""
+    names = []
+    for j, entry in enumerate(metrics):
+        at = f"{where}.metrics[{j}]"
+        if not isinstance(entry, dict):
+            return fail(path, f"{at} is not an object")
+        name, kind = entry.get("name"), entry.get("kind")
+        if not isinstance(name, str) or not name:
+            return fail(path, f"{at} missing 'name'")
+        if kind not in METRIC_KINDS:
+            return fail(path, f"{at}.kind {kind!r} not in {METRIC_KINDS}")
+        names.append(name)
+        if kind == "histogram":
+            bounds, counts = entry.get("bounds"), entry.get("counts")
+            if not isinstance(bounds, list) or not bounds or \
+                    not all(isinstance(b, (int, float)) for b in bounds):
+                return fail(path, f"{at}.bounds malformed")
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                return fail(path, f"{at}.bounds not strictly increasing")
+            if not isinstance(counts, list) or \
+                    len(counts) != len(bounds) + 1 or \
+                    not all(isinstance(c, int) and c >= 0 for c in counts):
+                return fail(path, f"{at}.counts must be {len(bounds) + 1} "
+                                  "non-negative integers (last = overflow)")
+        elif not isinstance(entry.get("value"), (int, float)):
+            return fail(path, f"{at} ({name}) missing numeric 'value'")
+    if names != sorted(names):
+        return fail(path, f"{where}.metrics not sorted by name "
+                          "(deterministic snapshot order)")
+    if len(set(names)) != len(names):
+        return fail(path, f"{where}.metrics has duplicate names")
+    return True
+
+
 def validate(path, doc):
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         return fail(path, f"schema is {schema!r}, want one of {SCHEMAS}")
-    v3 = schema in ("abe-scenario-sweep-v3", "abe-scenario-sweep-v4")
-    v4 = schema == "abe-scenario-sweep-v4"
+    v3 = schema != "abe-scenario-sweep-v2"
+    v4 = schema in ("abe-scenario-sweep-v4", "abe-scenario-sweep-v5")
+    v5 = schema == "abe-scenario-sweep-v5"
     metadata = doc.get("metadata")
     if not isinstance(metadata, dict):
         return fail(path, "metadata is not an object")
@@ -112,8 +169,17 @@ def validate(path, doc):
             cell_fields["adversary"] = str
             cell_fields["stalled"] = int
             cell_fields["violation_seeds"] = list
+        if v5:
+            cell_fields["metrics"] = list
+            cell_fields["wall"] = dict
         if not check_fields(path, cell, cell_fields, where):
             return False
+        if v5:
+            if not validate_metrics(path, cell["metrics"], where):
+                return False
+            if not check_fields(path, cell["wall"], WALL_FIELDS,
+                                f"{where}.wall"):
+                return False
         if v3 and cell["runtime"] not in RUNTIMES:
             return fail(path, f"{where}.runtime {cell['runtime']!r} not in "
                               f"{RUNTIMES}")

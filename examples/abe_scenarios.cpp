@@ -9,6 +9,17 @@
 //                                           # tracing on and print the full
 //                                           # event trace — the tool for the
 //                                           # violation_seeds a sweep captures
+//   abe_scenarios report [<sweep-or-scenario>] [flags]
+//                                           # run cells and print each cell's
+//                                           # merged metrics snapshot + wall
+//                                           # phase times (obs/metrics.h)
+//   abe_scenarios trace <scenario> --seed N [--chrome PATH] [--jsonl PATH]
+//                                           # replay ONE simulator trial and
+//                                           # export the flight recorder as
+//                                           # Chrome trace JSON (load in
+//                                           # chrome://tracing / Perfetto)
+//                                           # or JSONL; no export flag
+//                                           # prints the text transcript
 //
 // Common flags:
 //   --trials N    trials per cell (default: the spec's default_trials)
@@ -54,6 +65,7 @@
 #include "sim/equeue/backend.h"
 #include "scenario/sweep.h"
 #include "stats/table.h"
+#include "trace/trace_export.h"
 #include "util/cli.h"
 
 // Provenance injected by abe_add_buildinfo (top-level CMakeLists); the
@@ -84,8 +96,14 @@ int usage(const char* program) {
                "       %s sweep [<sweep>] [--trials N] [--seed N] "
                "[--threads N] [--equeue B] [--runtime R] [--json PATH]\n"
                "       %s replay <scenario> --seed N [--n N] [--delay NAME] "
-               "[--mean M] [--failure F] [--behavior B] [--adversary A]\n",
-               program, program, program, program, program);
+               "[--mean M] [--failure F] [--behavior B] [--adversary A]\n"
+               "       %s report [<sweep-or-scenario>] [--trials N] "
+               "[--seed N] [--threads N] [--equeue B] [--runtime R] "
+               "[--json PATH]\n"
+               "       %s trace <scenario> --seed N [--chrome PATH] "
+               "[--jsonl PATH] [run overrides]\n",
+               program, program, program, program, program, program,
+               program);
   return 2;
 }
 
@@ -158,8 +176,11 @@ bool emit_json(const std::string& path, const abe::SweepRunMetadata& meta,
 // runtimes axis: those cells pinned a substrate on purpose, and a blanket
 // --runtime would rewrite the sim-pinned half into duplicates of the
 // thread-pinned half (cell ids must stay unique).
+// `metrics_report` additionally prints each cell's merged metrics snapshot
+// and wall-phase times (the `report` command).
 int run_cells(std::vector<abe::ScenarioSpec> cells,
-              const abe::CliFlags& flags, bool runtime_overridable = true) {
+              const abe::CliFlags& flags, bool runtime_overridable = true,
+              bool metrics_report = false) {
   const std::int64_t trials_flag = flags.get_int("trials", 0);
   const std::int64_t seed_flag = flags.get_int("seed", 1);
   const std::int64_t threads_flag = flags.get_int("threads", 0);
@@ -253,6 +274,10 @@ int run_cells(std::vector<abe::ScenarioSpec> cells,
   const std::string json_path = flags.get_string("json", "");
   std::fprintf(json_path == "-" ? stderr : stdout, "%s\n",
                abe::render_sweep_table(outcomes).c_str());
+  if (metrics_report) {
+    std::fprintf(json_path == "-" ? stderr : stdout, "%s\n",
+                 abe::render_metrics_report(outcomes).c_str());
+  }
   if (!json_path.empty() &&
       !emit_json(json_path,
                  make_metadata(trials, seed_base, threads, equeue, runtime),
@@ -362,10 +387,12 @@ int cmd_run(const std::string& name, const abe::CliFlags& flags) {
   return run_cells({std::move(spec)}, flags);
 }
 
-// Replays ONE simulator trial with tracing enabled and prints the event
-// trace: the consumer of the violation_seeds list a sweep's JSON captures.
-// Deterministic — the same seed reproduces the violating run bit for bit.
-int cmd_replay(const std::string& name, const abe::CliFlags& flags) {
+// Shared preamble of `replay` and `trace`: resolve the scenario, apply
+// overrides, and pin the deterministic simulator (wall-clock runs cannot
+// reproduce a trial). Returns 0 with *spec_out/*seed_out set, or 2.
+int resolve_replay_cell(const std::string& name, const abe::CliFlags& flags,
+                        abe::ScenarioSpec* spec_out,
+                        std::uint64_t* seed_out) {
   const abe::ScenarioSpec* registered = abe::find_scenario(name);
   if (registered == nullptr) {
     std::fprintf(stderr, "unknown scenario '%s' (try `list`)\n",
@@ -375,7 +402,6 @@ int cmd_replay(const std::string& name, const abe::CliFlags& flags) {
   abe::ScenarioSpec spec = *registered;
   const int rc = apply_cell_overrides(spec, name, flags);
   if (rc != 0) return rc;
-  // Replay is a determinism tool; wall-clock runs cannot reproduce a trial.
   if (flags.has("runtime") &&
       flags.get_string("runtime", "sim") != "sim") {
     std::fprintf(stderr, "replay is simulator-only (--runtime sim)\n");
@@ -387,10 +413,25 @@ int cmd_replay(const std::string& name, const abe::CliFlags& flags) {
     std::fprintf(stderr, "--seed must be >= 0\n");
     return 2;
   }
+  *spec_out = std::move(spec);
+  *seed_out = static_cast<std::uint64_t>(seed_flag);
+  return 0;
+}
 
-  std::string trace;
-  const abe::TrialOutcome outcome = abe::replay_scenario_trial(
-      spec, static_cast<std::uint64_t>(seed_flag), &trace);
+// Replays ONE simulator trial with tracing enabled and prints the event
+// trace: the consumer of the violation_seeds list a sweep's JSON captures.
+// Deterministic — the same seed reproduces the violating run bit for bit.
+int cmd_replay(const std::string& name, const abe::CliFlags& flags) {
+  abe::ScenarioSpec spec;
+  std::uint64_t seed = 1;
+  const int rc = resolve_replay_cell(name, flags, &spec, &seed);
+  if (rc != 0) return rc;
+  const std::int64_t seed_flag = static_cast<std::int64_t>(seed);
+
+  abe::Trace recorder;
+  const abe::TrialOutcome outcome =
+      abe::replay_scenario_trial(spec, seed, &recorder);
+  const std::string trace = recorder.to_string();
   std::printf("cell:      %s\n", spec.cell_id().c_str());
   std::printf("seed:      %lld\n", static_cast<long long>(seed_flag));
   std::printf("completed: %s\n", outcome.completed ? "yes" : "no");
@@ -447,6 +488,83 @@ int cmd_sweep(const std::string& name, const abe::CliFlags& flags) {
                    /*runtime_overridable=*/matrix->runtimes.empty());
 }
 
+// Runs a sweep (or a single scenario's cell) and prints the per-cell
+// merged metrics snapshots next to the outcome table.
+int cmd_report(const std::string& name, const abe::CliFlags& flags) {
+  if (const abe::ScenarioMatrix* matrix = abe::find_sweep(name)) {
+    return run_cells(matrix->expand(), flags,
+                     /*runtime_overridable=*/matrix->runtimes.empty(),
+                     /*metrics_report=*/true);
+  }
+  const abe::ScenarioSpec* registered = abe::find_scenario(name);
+  if (registered == nullptr) {
+    std::fprintf(stderr, "unknown sweep or scenario '%s' (try `list`)\n",
+                 name.c_str());
+    return 2;
+  }
+  abe::ScenarioSpec spec = *registered;
+  const int rc = apply_cell_overrides(spec, name, flags);
+  if (rc != 0) return rc;
+  return run_cells({std::move(spec)}, flags, /*runtime_overridable=*/true,
+                   /*metrics_report=*/true);
+}
+
+// Writes `events` to `path` ("-" = stdout) in the selected export format.
+bool export_events(const std::string& path, bool chrome,
+                   const std::vector<abe::TraceEvent>& events) {
+  if (path == "-") {
+    chrome ? abe::write_chrome_trace(std::cout, events)
+           : abe::write_trace_jsonl(std::cout, events);
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  chrome ? abe::write_chrome_trace(out, events)
+         : abe::write_trace_jsonl(out, events);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+// Replays ONE simulator trial and exports the flight recorder — Chrome
+// trace JSON for chrome://tracing / Perfetto, JSONL for scripting, or the
+// plain text transcript when no export flag is given.
+int cmd_trace(const std::string& name, const abe::CliFlags& flags) {
+  abe::ScenarioSpec spec;
+  std::uint64_t seed = 1;
+  const int rc = resolve_replay_cell(name, flags, &spec, &seed);
+  if (rc != 0) return rc;
+
+  abe::Trace recorder;
+  abe::replay_scenario_trial(spec, seed, &recorder);
+  const std::vector<abe::TraceEvent> events = recorder.events();
+  std::fprintf(stderr, "cell %s seed %llu: %zu events retained (%llu "
+               "recorded, %llu evicted)\n",
+               spec.cell_id().c_str(),
+               static_cast<unsigned long long>(seed), events.size(),
+               static_cast<unsigned long long>(recorder.total_recorded()),
+               static_cast<unsigned long long>(recorder.evicted()));
+  bool exported = false;
+  if (flags.has("chrome")) {
+    if (!export_events(flags.get_string("chrome", "-"), /*chrome=*/true,
+                       events)) {
+      return 2;
+    }
+    exported = true;
+  }
+  if (flags.has("jsonl")) {
+    if (!export_events(flags.get_string("jsonl", "-"), /*chrome=*/false,
+                       events)) {
+      return 2;
+    }
+    exported = true;
+  }
+  if (!exported) std::printf("%s", recorder.to_string().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -455,7 +573,8 @@ int main(int argc, char** argv) {
   // before any trials run, not silently defaulted.
   for (const char* known :
        {"trials", "seed", "threads", "json", "n", "delay", "mean",
-        "equeue", "runtime", "failure", "behavior", "adversary"}) {
+        "equeue", "runtime", "failure", "behavior", "adversary", "chrome",
+        "jsonl"}) {
     flags.has(known);
   }
   const auto unknown = flags.unknown_flags();
@@ -485,6 +604,13 @@ int main(int argc, char** argv) {
   if (command == "replay") {
     if (args.size() < 2) return usage(argv[0]);
     return cmd_replay(args[1], flags);
+  }
+  if (command == "report") {
+    return cmd_report(args.size() >= 2 ? args[1] : "robustness", flags);
+  }
+  if (command == "trace") {
+    if (args.size() < 2) return usage(argv[0]);
+    return cmd_trace(args[1], flags);
   }
   return usage(argv[0]);
 }

@@ -22,9 +22,17 @@ ArqSender::ArqSender(std::uint64_t total_packets, double timeout_local)
 
 void ArqSender::on_start(Context& ctx) { transmit(ctx); }
 
+void ArqSender::bind_metrics(MetricsRegistry& registry, double slot) {
+  ABE_CHECK_GT(slot, 0.0);
+  rtt_hist_ = &registry.histogram(
+      "arq.rtt", FixedHistogram::log2_bounds(slot, /*below=*/2, /*above=*/6));
+}
+
 void ArqSender::transmit(Context& ctx) {
   if (attempts_current_ == 0) {
     first_send_time_ = ctx.real_now();
+  } else {
+    ++retransmissions_;
   }
   ++attempts_current_;
   ctx.send(0, std::make_unique<ArqPayload>(ArqPayload::Kind::kData, seq_));
@@ -36,13 +44,16 @@ void ArqSender::on_message(Context& ctx, std::size_t /*in_index*/,
                            const Payload& payload) {
   const auto& ack = payload_as<ArqPayload>(payload);
   ABE_CHECK(ack.kind() == ArqPayload::Kind::kAck);
+  ++acks_received_;
   if (!waiting_ || ack.seq() != seq_) {
     return;  // stale ack of an earlier (retransmitted) packet
   }
   waiting_ = false;
   ctx.cancel_timer(pending_timer_);
   attempts_.add(static_cast<double>(attempts_current_));
-  latency_.add(ctx.real_now() - first_send_time_);
+  const double rtt = ctx.real_now() - first_send_time_;
+  latency_.add(rtt);
+  if (rtt_hist_ != nullptr) rtt_hist_->record(rtt);
   ++delivered_;
   attempts_current_ = 0;
   ++seq_;
@@ -101,6 +112,8 @@ ArqResult run_arq_experiment(double p_success, std::uint64_t packets,
   // exactly one wasted slot — matching the slotted model of the paper.
   auto* sender = new ArqSender(packets, slot * 1.05);
   auto* receiver = new ArqReceiver();
+  MetricsRegistry registry;
+  sender->bind_metrics(registry, slot);
   net.add_node(NodePtr(sender));
   net.add_node(NodePtr(receiver));
   net.start();
@@ -114,7 +127,17 @@ ArqResult run_arq_experiment(double p_success, std::uint64_t packets,
   result.mean_latency = sender->latency_per_packet().mean();
   result.packets = sender->packets_delivered();
   result.duplicates = receiver->duplicates();
+  result.retransmits = sender->retransmissions();
   result.predicted_attempts = 1.0 / p_success;
+  result.metrics = registry.snapshot();
+  result.metrics.add_counter("arq.retransmits",
+                             static_cast<double>(sender->retransmissions()));
+  result.metrics.add_counter("arq.acks",
+                             static_cast<double>(sender->acks_received()));
+  result.metrics.add_counter("arq.duplicates",
+                             static_cast<double>(receiver->duplicates()));
+  result.metrics.add_counter("arq.delivered",
+                             static_cast<double>(sender->packets_delivered()));
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/node.h"
+#include "obs/metrics.h"
 #include "stats/summary.h"
 
 namespace abe {
@@ -60,6 +61,15 @@ class ArqSender final : public Node {
   // Real time from first transmission to ack, per packet.
   const Summary& latency_per_packet() const { return latency_; }
   std::uint64_t packets_delivered() const { return delivered_; }
+  // Timeout-driven retransmissions (attempts beyond the first per packet).
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  // ACK payloads that reached the sender, stale ones included.
+  std::uint64_t acks_received() const { return acks_received_; }
+
+  // Optional obs wiring: registers an "arq.rtt" histogram (first-send →
+  // ack round trip, geometric buckets around `slot`) in `registry` and
+  // records into it on every acknowledged packet. Call before start().
+  void bind_metrics(MetricsRegistry& registry, double slot);
 
  private:
   void transmit(Context& ctx);
@@ -73,6 +83,9 @@ class ArqSender final : public Node {
   bool waiting_ = false;
   bool done_ = false;
   std::uint64_t delivered_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t acks_received_ = 0;
+  FixedHistogram* rtt_hist_ = nullptr;  // null unless bind_metrics() ran
   Summary attempts_;
   Summary latency_;
 };
@@ -100,7 +113,11 @@ struct ArqResult {
   double mean_latency = 0.0;       // measured per-packet delay
   std::uint64_t packets = 0;
   std::uint64_t duplicates = 0;
+  std::uint64_t retransmits = 0;
   double predicted_attempts = 0.0;  // closed form 1/p
+  // arq.retransmits / arq.acks / arq.duplicates / arq.delivered counters
+  // plus the arq.rtt round-trip histogram (obs/metrics.h).
+  MetricsSnapshot metrics;
 };
 
 // Convenience harness: drives `packets` packets over a link that drops DATA

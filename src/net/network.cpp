@@ -114,6 +114,17 @@ Network::Network(NetworkConfig config)
   }
   metrics_.sent_by_node.assign(n, 0);
   metrics_.sent_by_channel.assign(channels_.size(), 0);
+  if (config_.metrics) {
+    delivered_by_channel_.assign(channels_.size(), 0);
+    dropped_by_channel_.assign(channels_.size(), 0);
+    // Geometric buckets around the configured mean delay δ — the scale the
+    // ABE contract promises — with a deep 2^6 tail (the part "bounded
+    // EXPECTED delay" leaves unbounded).
+    const double mean = config_.delay->mean_delay();
+    delay_hist_ = &registry_.histogram(
+        "net.delay", FixedHistogram::log2_bounds(mean > 0.0 ? mean : 1.0,
+                                                 /*below=*/3, /*above=*/6));
+  }
   slots_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     slots_[i].rng = root_rng_.substream("node", i);
@@ -194,7 +205,7 @@ void Network::schedule_next_tick(std::size_t node_index) {
     ++metrics_.ticks_fired;
     trace_.record(now(), TraceKind::kTick,
                   NodeId{static_cast<std::int64_t>(node_index)},
-                  "tick=" + std::to_string(s.ticks));
+                  static_cast<std::int64_t>(s.ticks));
     s.node->on_tick(*s.context, s.ticks);
     if (s.node->is_terminated()) {
       s.ticking = false;  // terminal nodes stop consuming tick events
@@ -219,7 +230,7 @@ TimerId Network::set_timer(std::size_t node_index, double local_delay,
         ++metrics_.timers_fired;
         trace_.record(now(), TraceKind::kTimer,
                       NodeId{static_cast<std::int64_t>(node_index)},
-                      "tag=" + std::to_string(tag));
+                      static_cast<std::int64_t>(tag));
         s.node->on_timer(*s.context, timer_id, tag);
       });
   return timer_id;
@@ -240,11 +251,18 @@ void Network::send_from(std::size_t node_index, std::size_t out_index,
   ++metrics_.messages_sent;
   ++metrics_.sent_by_node[node_index];
   ++metrics_.sent_by_channel[edge_index];
+  // Flight recorder: the lite record (numeric edge arg) is always on; the
+  // payload string is formatted only in full trace mode.
   if (trace_.enabled()) {
     trace_.record(now(), TraceKind::kSend,
                   NodeId{static_cast<std::int64_t>(node_index)},
                   "edge=" + std::to_string(edge_index) + " " +
-                      payload->describe());
+                      payload->describe(),
+                  static_cast<std::int64_t>(edge_index));
+  } else {
+    trace_.record(now(), TraceKind::kSend,
+                  NodeId{static_cast<std::int64_t>(node_index)},
+                  static_cast<std::int64_t>(edge_index));
   }
 
   std::shared_ptr<const Payload> shared{payload.release()};
@@ -253,12 +271,19 @@ void Network::send_from(std::size_t node_index, std::size_t out_index,
   if (ch.loss_probability > 0.0 &&
       channel_rng_.bernoulli(ch.loss_probability)) {
     ++metrics_.messages_dropped;
+    if (!dropped_by_channel_.empty()) ++dropped_by_channel_[edge_index];
     if (trace_.enabled()) {
       trace_.record(now(), TraceKind::kDrop,
                     NodeId{static_cast<std::int64_t>(
                         config_.topology.edges[edge_index].to)},
                     "edge=" + std::to_string(edge_index) + " " +
-                        shared->describe());
+                        shared->describe(),
+                    static_cast<std::int64_t>(edge_index));
+    } else {
+      trace_.record(now(), TraceKind::kDrop,
+                    NodeId{static_cast<std::int64_t>(
+                        config_.topology.edges[edge_index].to)},
+                    static_cast<std::int64_t>(edge_index));
     }
     return;
   }
@@ -293,11 +318,20 @@ void Network::deliver(std::size_t edge_index,
     metrics_.total_channel_delay += channel_delay;
     metrics_.max_channel_delay =
         std::max(metrics_.max_channel_delay, channel_delay);
+    if (delay_hist_ != nullptr) {
+      delay_hist_->record(channel_delay);
+      ++delivered_by_channel_[edge_index];
+    }
     if (trace_.enabled()) {
       trace_.record(now(), TraceKind::kDeliver,
                     NodeId{static_cast<std::int64_t>(to)},
                     "edge=" + std::to_string(edge_index) + " " +
-                        payload->describe());
+                        payload->describe(),
+                    static_cast<std::int64_t>(edge_index));
+    } else {
+      trace_.record(now(), TraceKind::kDeliver,
+                    NodeId{static_cast<std::int64_t>(to)},
+                    static_cast<std::int64_t>(edge_index));
     }
     s.node->on_message(*s.context, in_index_of_edge_[edge_index], *payload);
   };
@@ -361,6 +395,49 @@ double Network::expected_delay_bound() const {
     bound = std::max(bound, ch.delay->mean_delay());
   }
   return bound;
+}
+
+MetricsSnapshot Network::metrics_snapshot() const {
+  // Registry instruments first (the delay histogram, when enabled) …
+  MetricsSnapshot snap = registry_.snapshot();
+  // … then the always-on pull-model counters: the scheduler and the
+  // NetworkMetrics aggregate keep plain fields on their hot paths (cheaper
+  // than even a relaxed atomic in the single-threaded simulator) and the
+  // snapshot harvests them here, at collection time.
+  snap.add_counter("net.sent",
+                   static_cast<double>(metrics_.messages_sent));
+  snap.add_counter("net.delivered",
+                   static_cast<double>(metrics_.messages_delivered));
+  snap.add_counter("net.dropped",
+                   static_cast<double>(metrics_.messages_dropped));
+  snap.add_counter("net.ticks", static_cast<double>(metrics_.ticks_fired));
+  snap.add_counter("net.timers", static_cast<double>(metrics_.timers_fired));
+  snap.add_counter("net.delay.sum", metrics_.total_channel_delay);
+  snap.add_gauge("net.delay.max", metrics_.max_channel_delay);
+  snap.add_counter("sched.scheduled",
+                   static_cast<double>(scheduler_.scheduled_count()));
+  snap.add_counter("sched.cancelled",
+                   static_cast<double>(scheduler_.cancelled_count()));
+  snap.add_counter("sched.popped",
+                   static_cast<double>(scheduler_.processed_count()));
+  snap.add_gauge("sched.queue_high_water",
+                 static_cast<double>(scheduler_.queue_high_water()));
+  snap.add_counter("trace.recorded",
+                   static_cast<double>(trace_.total_recorded()));
+  if (config_.metrics) {
+    // Scalar rollups of the per-channel vectors (the vectors themselves are
+    // exposed via delivered_by_channel()/dropped_by_channel(); at n = 10^4
+    // they would dwarf the rest of the sweep JSON).
+    std::uint64_t lossy = 0;
+    std::uint64_t worst = 0;
+    for (const std::uint64_t d : dropped_by_channel_) {
+      if (d > 0) ++lossy;
+      worst = std::max(worst, d);
+    }
+    snap.add_counter("net.channels.lossy", static_cast<double>(lossy));
+    snap.add_gauge("net.channels.max_dropped", static_cast<double>(worst));
+  }
+  return snap;
 }
 
 }  // namespace abe

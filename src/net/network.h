@@ -21,6 +21,7 @@
 #include "net/delay.h"
 #include "net/node.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
 #include "sim/equeue/backend.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
@@ -97,6 +98,11 @@ struct NetworkConfig {
   // performance knob: every backend pops in the identical order, so seeded
   // runs are bit-identical across backends. ABE_EQUEUE overrides.
   EqueueBackend equeue = EqueueBackend::kAuto;
+  // Extended observability (obs/metrics.h): per-channel deliver/drop
+  // vectors and a sampled channel-delay histogram, harvested by
+  // metrics_snapshot(). Off by default; recording consumes no randomness
+  // and reorders nothing, so enabling it cannot change any aggregate.
+  bool metrics = false;
 };
 
 struct NetworkMetrics {
@@ -163,6 +169,24 @@ class Network {
   const NetworkMetrics& metrics() const { return metrics_; }
   LocalClock& clock(std::size_t i);
   Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+  // Extended observability, populated when config.metrics is on: delivered
+  // and dropped counts per channel (edge index into topology().edges; empty
+  // vectors when disabled). The seed-pinned lossy-ring regression in
+  // tests/test_obs.cpp reads these directly.
+  const std::vector<std::uint64_t>& delivered_by_channel() const {
+    return delivered_by_channel_;
+  }
+  const std::vector<std::uint64_t>& dropped_by_channel() const {
+    return dropped_by_channel_;
+  }
+
+  // Deterministic harvest of scheduler + network instruments, sorted by
+  // metric name (obs/metrics.h). Always includes the always-on scalar
+  // counters; the delay histogram and per-channel rollups appear only when
+  // config.metrics is on.
+  MetricsSnapshot metrics_snapshot() const;
 
   // The effective ABE parameter δ of this network: the max channel mean.
   double expected_delay_bound() const;
@@ -200,6 +224,13 @@ class Network {
   Rng channel_rng_;
   Trace trace_;
   NetworkMetrics metrics_;
+  // Extended observability state (config_.metrics only). The histogram
+  // lives in the registry; the hot paths cache one raw pointer and pay a
+  // single null test when metrics are off (the obs cost contract).
+  MetricsRegistry registry_;
+  FixedHistogram* delay_hist_ = nullptr;
+  std::vector<std::uint64_t> delivered_by_channel_;
+  std::vector<std::uint64_t> dropped_by_channel_;
   std::vector<NodeSlot> slots_;
   std::vector<ChannelState> channels_;
   std::vector<std::vector<std::size_t>> out_channels_;  // node -> edge indices

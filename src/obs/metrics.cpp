@@ -1,0 +1,297 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace abe {
+
+namespace {
+
+// Counters serialize as integers, everything else with round-trip
+// precision (mirrors stats::Summary::to_json so sweep JSON has one number
+// style throughout).
+std::string json_number(double v) {
+  const double r = std::nearbyint(v);
+  if (r == v && std::fabs(v) < 9.007199254740992e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(r);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void Gauge::update_max(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  ABE_CHECK(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    ABE_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void FixedHistogram::record(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> FixedHistogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t FixedHistogram::total() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    sum += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+double FixedHistogram::quantile(double q) const {
+  return quantile_of(bounds_, bucket_counts(), q);
+}
+
+std::vector<double> FixedHistogram::log2_bounds(double center, int below,
+                                                int above) {
+  ABE_CHECK_GT(center, 0.0);
+  ABE_CHECK_GE(above, -below);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(above + below + 1));
+  for (int k = -below; k <= above; ++k) {
+    bounds.push_back(center * std::ldexp(1.0, k));
+  }
+  return bounds;
+}
+
+double FixedHistogram::quantile_of(const std::vector<double>& bounds,
+                                   const std::vector<std::uint64_t>& counts,
+                                   double q) {
+  ABE_CHECK_EQ(counts.size(), bounds.size() + 1);
+  q = std::min(1.0, std::max(0.0, q));
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // Overflow bucket has no finite upper edge; clamp to the last bound.
+      const double hi = i < bounds.size() ? bounds[i] : bounds.back();
+      const double fraction =
+          std::max(0.0, target - cum) / static_cast<double>(counts[i]);
+      return lo + fraction * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds.back();
+}
+
+void MetricsSnapshot::add_counter(const std::string& name, double value) {
+  upsert(name, MetricKind::kCounter).value += value;
+}
+
+void MetricsSnapshot::add_gauge(const std::string& name, double value) {
+  MetricValue& entry = upsert(name, MetricKind::kGauge);
+  entry.value = std::max(entry.value, value);
+}
+
+void MetricsSnapshot::add_histogram(const std::string& name,
+                                    std::vector<double> bounds,
+                                    std::vector<std::uint64_t> buckets) {
+  ABE_CHECK_EQ(buckets.size(), bounds.size() + 1);
+  MetricValue& entry = upsert(name, MetricKind::kHistogram);
+  if (entry.bounds.empty()) {
+    entry.bounds = std::move(bounds);
+    entry.buckets = std::move(buckets);
+    return;
+  }
+  ABE_CHECK(entry.bounds == bounds);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    entry.buckets[i] += buckets[i];
+  }
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const MetricValue& entry : other.entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        add_counter(entry.name, entry.value);
+        break;
+      case MetricKind::kGauge:
+        add_gauge(entry.name, entry.value);
+        break;
+      case MetricKind::kHistogram:
+        add_histogram(entry.name, entry.bounds, entry.buckets);
+        break;
+    }
+  }
+}
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const MetricValue& e, const std::string& n) { return e.name < n; });
+  if (it == entries_.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double MetricsSnapshot::value_of(const std::string& name) const {
+  const MetricValue* entry = find(name);
+  return entry != nullptr ? entry->value : 0.0;
+}
+
+MetricValue& MetricsSnapshot::upsert(const std::string& name,
+                                     MetricKind kind) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const MetricValue& e, const std::string& n) { return e.name < n; });
+  if (it == entries_.end() || it->name != name) {
+    MetricValue entry;
+    entry.name = name;
+    entry.kind = kind;
+    it = entries_.insert(it, std::move(entry));
+  }
+  ABE_CHECK(it->kind == kind);
+  return *it;
+}
+
+std::string MetricsSnapshot::render() const {
+  std::size_t width = 6;
+  for (const MetricValue& entry : entries_) {
+    width = std::max(width, entry.name.size());
+  }
+  std::ostringstream os;
+  for (const MetricValue& entry : entries_) {
+    os << "  " << std::left << std::setw(static_cast<int>(width + 2))
+       << entry.name << std::right << std::setw(9)
+       << metric_kind_name(entry.kind) << "  ";
+    if (entry.kind == MetricKind::kHistogram) {
+      std::uint64_t total = 0;
+      for (const std::uint64_t c : entry.buckets) total += c;
+      os << "n=" << total;
+      for (const double q : {0.5, 0.9, 0.99}) {
+        os << "  p" << static_cast<int>(q * 100) << "="
+           << json_number(FixedHistogram::quantile_of(entry.bounds,
+                                                      entry.buckets, q));
+      }
+    } else {
+      os << json_number(entry.value);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void MetricsSnapshot::append_json(std::string* out) const {
+  out->push_back('[');
+  bool first = true;
+  for (const MetricValue& entry : entries_) {
+    if (!first) out->append(", ");
+    first = false;
+    out->append("{\"name\": \"");
+    out->append(entry.name);  // names are code-controlled identifiers
+    out->append("\", \"kind\": \"");
+    out->append(metric_kind_name(entry.kind));
+    out->append("\"");
+    if (entry.kind == MetricKind::kHistogram) {
+      out->append(", \"bounds\": [");
+      for (std::size_t i = 0; i < entry.bounds.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(json_number(entry.bounds[i]));
+      }
+      out->append("], \"counts\": [");
+      for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(json_number(static_cast<double>(entry.buckets[i])));
+      }
+      out->append("]");
+    } else {
+      out->append(", \"value\": ");
+      out->append(json_number(entry.value));
+    }
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<double> bounds) {
+  MutexLock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<FixedHistogram>(std::move(bounds));
+  } else {
+    ABE_CHECK(slot->bounds() == bounds);
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MutexLock lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.add_counter(name, static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.add_gauge(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.add_histogram(name, histogram->bounds(), histogram->bucket_counts());
+  }
+  return snap;
+}
+
+}  // namespace abe

@@ -9,6 +9,7 @@ void Mailbox::push(MailItem item) {
     MutexLock lock(mutex_);
     item.sequence = next_sequence_++;
     queue_.push(std::move(item));
+    high_water_ = std::max(high_water_, queue_.size());
   }
   cv_.notify_one();
 }
@@ -67,6 +68,11 @@ void Mailbox::cancel_timer(std::int64_t timer_id) {
 std::size_t Mailbox::approximate_size() const {
   MutexLock lock(mutex_);
   return queue_.size();
+}
+
+std::size_t Mailbox::high_water() const {
+  MutexLock lock(mutex_);
+  return high_water_;
 }
 
 }  // namespace abe

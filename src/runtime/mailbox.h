@@ -53,6 +53,11 @@ class Mailbox {
 
   std::size_t approximate_size() const EXCLUDES(mutex_);
 
+  // Largest queue depth ever observed after a push — the mailbox-backlog
+  // gauge of the obs metrics snapshot. Updated under the mutex the push
+  // already holds, so tracking it costs one compare.
+  std::size_t high_water() const EXCLUDES(mutex_);
+
  private:
   struct Later {
     bool operator()(const MailItem& a, const MailItem& b) const {
@@ -68,6 +73,7 @@ class Mailbox {
   std::vector<std::int64_t> cancelled_timers_ GUARDED_BY(mutex_);
   bool closed_ GUARDED_BY(mutex_) = false;
   std::uint64_t next_sequence_ GUARDED_BY(mutex_) = 0;
+  std::size_t high_water_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace abe

@@ -46,6 +46,7 @@ NetworkConfig SimRuntime::to_network_config(RuntimeConfig config) {
   net.loss_probability = config.loss_probability;
   net.seed = config.seed;
   net.equeue = config.equeue;
+  net.metrics = config.metrics;
   return net;
 }
 
@@ -115,6 +116,8 @@ ThreadNetConfig ThreadRuntime::to_thread_config(const RuntimeConfig& config) {
   net.enable_ticks = config.enable_ticks;
   net.tick_local_period = config.tick_local_period;
   net.seed = config.seed;
+  net.trace = config.trace;
+  net.metrics = config.metrics;
   return net;
 }
 
@@ -225,17 +228,42 @@ std::unique_ptr<Runtime> make_runtime(RuntimeKind kind,
 
 TrialOutcome run_algorithm_trial(RuntimeKind kind, RuntimeConfig config,
                                  AlgorithmDriver& driver) {
+  using WallClock = std::chrono::steady_clock;
+  const auto ms_between = [](WallClock::time_point a, WallClock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
   driver.configure(config);
   const SimTime deadline = config.deadline;
+  const bool want_metrics = config.metrics;
+  const auto wall_begin = WallClock::now();
   std::unique_ptr<Runtime> rt = make_runtime(kind, std::move(config));
   rt->build_nodes([&driver](std::size_t i) { return driver.make_node(i); });
+  const auto wall_built = WallClock::now();
   rt->start();
   const bool completed =
       rt->run_until_done([&] { return driver.done(*rt); }, deadline);
+  const auto wall_ran = WallClock::now();
   if (completed) driver.on_complete(*rt);
   driver.settle(*rt, completed);
   rt->stop();
-  return driver.extract(*rt, completed);
+  const auto wall_settled = WallClock::now();
+  TrialOutcome outcome = driver.extract(*rt, completed);
+  // Observability harvest happens here, after extract(): wall phases and
+  // metrics belong to the trial loop, not to individual drivers.
+  outcome.wall.build_ms = ms_between(wall_begin, wall_built);
+  outcome.wall.run_ms = ms_between(wall_built, wall_ran);
+  outcome.wall.settle_ms = ms_between(wall_ran, wall_settled);
+  if (want_metrics) {
+    outcome.metrics = rt->metrics_snapshot();
+    outcome.has_metrics = true;
+  }
+  if (!outcome.completed || outcome.stalled || !outcome.safety_ok) {
+    // Failure forensics: dump the always-on flight recorder's recent
+    // history so stalled or violating trials are diagnosable without
+    // having pre-enabled tracing.
+    outcome.flight_tail = rt->trace_snapshot().events();
+  }
+  return outcome;
 }
 
 // ---------------------------------------------------------------------------

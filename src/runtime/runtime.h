@@ -35,7 +35,9 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "runtime/thread_net.h"
+#include "trace/trace.h"
 
 namespace abe {
 
@@ -81,7 +83,15 @@ struct RuntimeConfig {
   // clamped by wall_timeout_ms).
   SimTime deadline = 1e7;
   EqueueBackend equeue = EqueueBackend::kAuto;  // sim only
-  bool trace = false;                           // sim only
+  // Full-detail tracing on either substrate (the flight recorder itself is
+  // always on at small capacity; this raises capacity and records payload
+  // strings). See trace/trace.h.
+  bool trace = false;
+  // Extended metrics (delay/RTT histograms, per-node handler timing).
+  // Recording consumes no RNG and never reorders events, so flipping this
+  // cannot change any seeded aggregate. Off by default; scenario sweeps
+  // turn it on.
+  bool metrics = false;
   // --- thread-runtime realisation (ignored by the simulator) -------------
   double time_scale_us = 200.0;     // wall microseconds per sim unit
   // Hard per-trial wall budget, counted from start(): run_until_done and
@@ -113,6 +123,22 @@ struct RunStats {
   }
 };
 
+// Wall-clock phase timing of one trial, measured by run_algorithm_trial.
+// Kept OUTSIDE MetricsSnapshot on purpose: wall times differ run to run,
+// while simulator snapshots must compare bit-identical across trial-pool
+// thread counts.
+struct WallPhaseTimes {
+  double build_ms = 0.0;   // configure + runtime construction + build_nodes
+  double run_ms = 0.0;     // start → done-predicate (or deadline)
+  double settle_ms = 0.0;  // on_complete + settle + stop
+  WallPhaseTimes& operator+=(const WallPhaseTimes& other) {
+    build_ms += other.build_ms;
+    run_ms += other.run_ms;
+    settle_ms += other.settle_ms;
+    return *this;
+  }
+};
+
 // Runtime-agnostic outcome of one trial (the scenario engine's trial
 // currency; algorithm-specific detail travels via driver sinks).
 struct TrialOutcome {
@@ -126,6 +152,15 @@ struct TrialOutcome {
   bool stalled = false;
   SimTime time = 0.0;       // completion time (sim units on both runtimes)
   std::uint64_t messages = 0;
+  // Observability harvest (run_algorithm_trial fills these in; drivers
+  // that hand-construct outcomes may leave them empty).
+  bool has_metrics = false;       // metrics was on and a snapshot was taken
+  MetricsSnapshot metrics;        // deterministic on the simulator
+  WallPhaseTimes wall;            // wall-clock phases, never deterministic
+  // Tail of the always-on flight recorder, populated only for trials that
+  // stalled, missed the deadline, or violated safety — the recent-history
+  // dump that makes failures diagnosable without pre-enabling tracing.
+  std::vector<TraceEvent> flight_tail;
 };
 
 // ---------------------------------------------------------------------------
@@ -176,6 +211,14 @@ class Runtime {
   // thread runtime (state is owned by the node's thread while running).
   virtual Node& node(std::size_t i) = 0;
   virtual RunStats stats() const = 0;
+  // Deterministic-by-name metrics harvest (obs/metrics.h). Simulator
+  // snapshots are bit-reproducible for a fixed seed; thread snapshots
+  // report wall-clock facts. Safe after stop() on both runtimes.
+  virtual MetricsSnapshot metrics_snapshot() const = 0;
+  // Copy of the flight recorder: always-on ring of recent events (full
+  // capacity + payload detail when RuntimeConfig::trace is set). Thread
+  // records are stamped with mailbox delivery time. Safe after stop().
+  virtual Trace trace_snapshot() const = 0;
 };
 
 // Minimum wall window ThreadRuntime::run_for realises (see run_for).
@@ -205,6 +248,10 @@ class SimRuntime final : public Runtime {
   bool terminated(std::size_t i) const override;
   Node& node(std::size_t i) override { return net_.node(i); }
   RunStats stats() const override;
+  MetricsSnapshot metrics_snapshot() const override {
+    return net_.metrics_snapshot();
+  }
+  Trace trace_snapshot() const override { return net_.trace(); }
 
   // Escape hatch for simulator-only instrumentation (trace, per-channel
   // overrides, scheduler introspection).
@@ -234,6 +281,10 @@ class ThreadRuntime final : public Runtime {
   bool terminated(std::size_t i) const override { return net_.terminated(i); }
   Node& node(std::size_t i) override { return net_.node(i); }
   RunStats stats() const override;
+  MetricsSnapshot metrics_snapshot() const override {
+    return net_.metrics_snapshot();
+  }
+  Trace trace_snapshot() const override { return net_.trace_copy(); }
 
   ThreadNetwork& thread_network() { return net_; }
 

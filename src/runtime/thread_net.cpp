@@ -31,12 +31,19 @@ class ThreadNetwork::ThreadContext final : public Context {
     const std::size_t to = net_->config_.topology.edges[edge].to;
 
     net_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    net_->record_trace(TraceKind::kSend, self(),
+                       static_cast<std::int64_t>(edge),
+                       net_->trace_detail(*payload, edge));
     // Silent loss (failure injection): the message vanishes in transit.
     // Sent-then-dropped counting mirrors NetworkMetrics, so in-flight
     // arithmetic (sent - delivered - dropped) works on both runtimes.
     if (net_->config_.loss_probability > 0.0 &&
         self_slot.rng.bernoulli(net_->config_.loss_probability)) {
       net_->messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      net_->record_trace(TraceKind::kDrop,
+                         NodeId{static_cast<std::int64_t>(to)},
+                         static_cast<std::int64_t>(edge),
+                         net_->trace_detail(*payload, edge));
       return;
     }
 
@@ -81,8 +88,8 @@ class ThreadNetwork::ThreadContext final : public Context {
 
   Rng& rng() override { return net_->slots_[index_].rng; }
 
-  void log(const std::string&) override {
-    // The thread runtime has no trace sink; logging is a no-op here.
+  void log(const std::string& detail) override {
+    net_->record_trace(TraceKind::kCustom, self(), -1, detail);
   }
 
  private:
@@ -126,6 +133,75 @@ ThreadNetwork::ThreadNetwork(ThreadNetConfig config)
       slots_[i].clock_rate = 1.0;
     }
   }
+  if (config_.trace) {
+    MutexLock lock(trace_mutex_);
+    trace_.enable();
+  }
+}
+
+std::string ThreadNetwork::trace_detail(const Payload& payload,
+                                        std::size_t edge) const {
+  if (!config_.trace) return std::string();
+  return "edge=" + std::to_string(edge) + " " + payload.describe();
+}
+
+void ThreadNetwork::record_trace(TraceKind kind, NodeId node,
+                                 std::int64_t arg, const std::string& detail) {
+  // Delivery-side records are stamped with now_sim() at the moment the
+  // consumer popped the item — mailbox delivery time, the thread runtime's
+  // analogue of the simulator's event time.
+  const double t = now_sim();
+  MutexLock lock(trace_mutex_);
+  if (detail.empty()) {
+    trace_.record(t, kind, node, arg);
+  } else {
+    trace_.record(t, kind, node, detail, arg);
+  }
+}
+
+Trace ThreadNetwork::trace_copy() const {
+  MutexLock lock(trace_mutex_);
+  return trace_;
+}
+
+MetricsSnapshot ThreadNetwork::metrics_snapshot() const {
+  MetricsSnapshot snap;
+  snap.add_counter("net.sent", static_cast<double>(messages_sent_.load()));
+  snap.add_counter("net.delivered",
+                   static_cast<double>(messages_delivered_.load()));
+  snap.add_counter("net.dropped",
+                   static_cast<double>(messages_dropped_.load()));
+  snap.add_counter("net.ticks", static_cast<double>(ticks_fired_.load()));
+  snap.add_counter("net.timers", static_cast<double>(timers_fired_.load()));
+  snap.add_counter("thread.cv_wakeups",
+                   static_cast<double>(cv_wakeups_.load()));
+  std::size_t mailbox_high_water = 0;
+  for (const auto& slot : slots_) {
+    mailbox_high_water = std::max(mailbox_high_water,
+                                  slot.mailbox->high_water());
+  }
+  snap.add_gauge("thread.mailbox_high_water",
+                 static_cast<double>(mailbox_high_water));
+  if (config_.metrics) {
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    for (const auto& slot : slots_) {
+      const std::uint64_t ns =
+          slot.handler_ns.load(std::memory_order_relaxed);
+      total_ns += ns;
+      max_ns = std::max(max_ns, ns);
+    }
+    snap.add_counter("thread.handler_us.sum",
+                     static_cast<double>(total_ns) / 1e3);
+    snap.add_gauge("thread.handler_us.max",
+                   static_cast<double>(max_ns) / 1e3);
+  }
+  {
+    MutexLock lock(trace_mutex_);
+    snap.add_counter("trace.recorded",
+                     static_cast<double>(trace_.total_recorded()));
+  }
+  return snap;
 }
 
 ThreadNetwork::~ThreadNetwork() { stop(); }
@@ -178,6 +254,7 @@ void ThreadNetwork::signal_progress() {
   // The empty critical section pairs with the wait in wait_until: a
   // predicate flip made by this thread can never slip between the waiter's
   // pred() check and its block (classic missed-wakeup fence).
+  cv_wakeups_.fetch_add(1, std::memory_order_relaxed);
   { MutexLock lock(progress_mutex_); }
   progress_cv_.notify_all();
 }
@@ -194,10 +271,10 @@ void ThreadNetwork::thread_main(std::size_t index) {
   signal_progress();
 
   // Self-generated ticks: computed from the node's local clock.
-  std::uint64_t tick_count = 0;
+  std::uint64_t tick_seq = 0;
   auto next_tick_due = [&]() {
     const double next_local =
-        static_cast<double>(tick_count + 1) * config_.tick_local_period;
+        static_cast<double>(tick_seq + 1) * config_.tick_local_period;
     const double real = next_local / slot.clock_rate;  // sim units
     return start_time_ + std::chrono::microseconds(static_cast<std::int64_t>(
                              real * config_.time_scale_us));
@@ -217,8 +294,18 @@ void ThreadNetwork::thread_main(std::size_t index) {
     // yet send), so wait_quiescent also requires active_handlers_ == 0.
     // Ordering matters — the increment must precede messages_delivered_.
     active_handlers_.fetch_add(1, std::memory_order_acq_rel);
+    // Handler-time accounting (metrics mode): wall-clock reads bracket the
+    // handler body only, not the mailbox wait.
+    const auto handler_start = config_.metrics
+                                   ? MailItem::Clock::now()
+                                   : MailItem::Clock::time_point{};
     if (item.kind == MailItem::Kind::kMessage) {
       messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+      record_trace(TraceKind::kDeliver, ctx.self(),
+                   static_cast<std::int64_t>(item.in_index),
+                   config_.trace ? "in=" + std::to_string(item.in_index) +
+                                       " " + item.payload->describe()
+                                 : std::string());
       // Definition 1(3): handling occupies the node for the sampled time.
       if (config_.processing.kind != ProcessingModel::Kind::kZero) {
         const double ptime = config_.processing.sample(slot.rng);
@@ -230,9 +317,11 @@ void ThreadNetwork::thread_main(std::size_t index) {
       slot.node->on_message(ctx, item.in_index, *item.payload);
     } else if (item.kind == MailItem::Kind::kTimer) {
       if (item.timer_id == -1) {
-        ++tick_count;
+        ++tick_seq;
         ticks_fired_.fetch_add(1, std::memory_order_relaxed);
-        slot.node->on_tick(ctx, tick_count);
+        record_trace(TraceKind::kTick, ctx.self(),
+                     static_cast<std::int64_t>(tick_seq));
+        slot.node->on_tick(ctx, tick_seq);
         if (!slot.node->is_terminated()) {
           MailItem tick;
           tick.kind = MailItem::Kind::kTimer;
@@ -241,8 +330,18 @@ void ThreadNetwork::thread_main(std::size_t index) {
           slot.mailbox->push(std::move(tick));
         }
       } else {
+        timers_fired_.fetch_add(1, std::memory_order_relaxed);
+        record_trace(TraceKind::kTimer, ctx.self(),
+                     static_cast<std::int64_t>(item.tag));
         slot.node->on_timer(ctx, TimerId{item.timer_id}, item.tag);
       }
+    }
+    if (config_.metrics) {
+      const auto handler_ns = std::chrono::duration_cast<
+          std::chrono::nanoseconds>(MailItem::Clock::now() - handler_start);
+      slot.handler_ns.fetch_add(
+          static_cast<std::uint64_t>(handler_ns.count()),
+          std::memory_order_relaxed);
     }
     slot.terminated.store(slot.node->is_terminated(),
                           std::memory_order_release);

@@ -30,7 +30,9 @@
 #include "net/network.h"
 #include "net/node.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
 #include "runtime/mailbox.h"
+#include "trace/trace.h"
 #include "util/thread_annotations.h"
 
 namespace abe {
@@ -59,6 +61,12 @@ struct ThreadNetConfig {
   bool enable_ticks = false;
   double tick_local_period = 1.0;    // in sim units, on the local clock
   std::uint64_t seed = 1;
+  // Full-detail tracing (payload strings in every record). The flight
+  // recorder itself is always on — see ThreadNetwork::trace_copy().
+  bool trace = false;
+  // Extended observability: per-node handler-time accounting, harvested by
+  // metrics_snapshot(). Off by default.
+  bool metrics = false;
 };
 
 class ThreadNetwork {
@@ -108,6 +116,20 @@ class ThreadNetwork {
   // Wall time since start(), in sim units.
   double now_sim() const;
 
+  // Copy of the flight recorder (trace/trace.h): always-on ring of recent
+  // events, stamped with mailbox DELIVERY time (now_sim() at pop), so the
+  // transcript orders events the way the node experienced them, not the
+  // way producers enqueued them. ThreadNetConfig::trace switches it to the
+  // full-detail ring the CrossRuntimeParity transcript checks read.
+  Trace trace_copy() const EXCLUDES(trace_mutex_);
+
+  // Deterministic-by-name harvest mirroring Network::metrics_snapshot():
+  // net.* counters shared with the simulator plus thread.* rows (CV
+  // wakeups, mailbox high-water, per-node handler time when
+  // ThreadNetConfig::metrics is on). Values are wall-clock facts, so unlike
+  // simulator snapshots they are not bit-reproducible across runs.
+  MetricsSnapshot metrics_snapshot() const EXCLUDES(trace_mutex_);
+
  private:
   class ThreadContext;
   struct Slot {
@@ -118,12 +140,24 @@ class ThreadNetwork {
     Rng rng;
     double clock_rate = 1.0;
     std::atomic<bool> terminated{false};
+    // Nanoseconds spent inside event handlers (metrics mode only). Written
+    // by the owning node thread, read by metrics_snapshot().
+    std::atomic<std::uint64_t> handler_ns{0};
   };
 
   void thread_main(std::size_t index);
   // Wakes wait_until/wait_quiescent callers after a state change.
   void signal_progress() EXCLUDES(progress_mutex_);
   MailItem::Clock::time_point sim_to_wall(double sim_delay_from_now) const;
+  // Appends to the flight recorder; called concurrently from node threads.
+  // `detail` is recorded only in full-trace mode (or for kCustom, whose
+  // payload IS the string).
+  void record_trace(TraceKind kind, NodeId node, std::int64_t arg,
+                    const std::string& detail = std::string())
+      EXCLUDES(trace_mutex_);
+  // "edge=N <payload>" in full-trace mode, empty otherwise — so lite-mode
+  // sends never pay for string formatting.
+  std::string trace_detail(const Payload& payload, std::size_t edge) const;
 
   ThreadNetConfig config_;
   Rng root_rng_;
@@ -136,6 +170,8 @@ class ThreadNetwork {
   std::atomic<std::uint64_t> messages_delivered_{0};
   std::atomic<std::uint64_t> messages_dropped_{0};
   std::atomic<std::uint64_t> ticks_fired_{0};
+  std::atomic<std::uint64_t> timers_fired_{0};
+  std::atomic<std::uint64_t> cv_wakeups_{0};
   // Nodes currently inside an event handler; part of the quiescence
   // condition (a handler may still send).
   std::atomic<std::uint64_t> active_handlers_{0};
@@ -151,6 +187,11 @@ class ThreadNetwork {
   // are what -Wthread-safety checks here.
   mutable AnnotatedMutex progress_mutex_;
   AnnotatedCondVar progress_cv_;
+  // Flight recorder, shared by all node threads. Separate mutex from the
+  // progress fence: trace records happen on every event, progress waits
+  // only at the run boundary, and the two must not contend.
+  mutable AnnotatedMutex trace_mutex_;
+  Trace trace_ GUARDED_BY(trace_mutex_);
 };
 
 // Convenience harness mirroring core/harness.h on the thread runtime.

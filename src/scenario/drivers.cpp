@@ -173,8 +173,15 @@ ScenarioTrialDriver make_beta_sync_binding(const Topology& topology) {
   ScenarioTrialDriver binding;
   binding.driver = make_beta_sync_driver(*factory, rounds, sink.get());
   binding.project = [sink, factory, rounds,
-                     n](const TrialOutcome& /*outcome*/) {
+                     n](const TrialOutcome& outcome) {
     TrialOutcome out;
+    // Preserve the trial loop's observability harvest: this projection
+    // rebuilds the outcome from the sink, but metrics/wall/flight-tail
+    // belong to the run, not the algorithm.
+    out.has_metrics = outcome.has_metrics;
+    out.metrics = outcome.metrics;
+    out.wall = outcome.wall;
+    out.flight_tail = outcome.flight_tail;
     out.completed = sink->completed;
     out.time = sink->completion_time;
     out.messages = sink->messages_total;
@@ -250,6 +257,10 @@ RuntimeConfig scenario_runtime_config(const ScenarioSpec& spec,
   config.deadline = spec.deadline;
   config.time_scale_us = spec.thread_time_scale_us;
   config.wall_timeout_ms = spec.thread_wall_timeout_ms;
+  // Scenario trials always harvest metrics: recording consumes no RNG, so
+  // seeded aggregates stay bit-identical with the flag on (test_obs pins
+  // this), and every sweep cell gets its metrics block for free.
+  config.metrics = true;
   if (!spec.adversary.empty()) {
     // Fresh policy per trial: the per-channel delay accounts are trial
     // state. The bound is the (failure-degraded) model's advertised mean —
@@ -281,8 +292,7 @@ ScenarioTrialResult run_scenario_trial(const ScenarioSpec& spec,
 }
 
 TrialOutcome replay_scenario_trial(const ScenarioSpec& spec,
-                                   std::uint64_t seed,
-                                   std::string* trace_out) {
+                                   std::uint64_t seed, Trace* trace_out) {
   ABE_CHECK(trace_out != nullptr);
   ABE_CHECK(spec.runtime == RuntimeKind::kSim)
       << "only simulator trials are replayable (thread trials are "
@@ -309,7 +319,9 @@ TrialOutcome replay_scenario_trial(const ScenarioSpec& spec,
   binding.driver->settle(rt, completed);
   rt.stop();
   TrialOutcome outcome = binding.driver->extract(rt, completed);
-  *trace_out = rt.network().trace().to_string();
+  outcome.metrics = rt.metrics_snapshot();
+  outcome.has_metrics = true;
+  *trace_out = rt.network().trace();
   return binding.project(outcome);
 }
 

@@ -45,15 +45,16 @@ ScenarioTrialDriver make_scenario_driver(const ScenarioSpec& spec,
                                          const Topology& topology,
                                          std::uint64_t seed);
 
-// Re-runs one trial of `spec` on the DETERMINISTIC simulator with trace
-// recording enabled and writes the full event transcript to *trace_out —
-// how a safety-violation seed captured in a sweep JSON is replayed and
-// inspected. Aborts when the spec's runtime is not the simulator (thread
-// trials are wall-clock nondeterministic; their seeds are not replayable
-// by construction).
+// Re-runs one trial of `spec` on the DETERMINISTIC simulator with
+// full-detail trace recording enabled and copies the flight recorder to
+// *trace_out — how a safety-violation seed captured in a sweep JSON is
+// replayed and inspected. The structured Trace renders to text
+// (Trace::to_string), Chrome trace JSON, or JSONL (trace/trace_export.h).
+// Aborts when the spec's runtime is not the simulator (thread trials are
+// wall-clock nondeterministic; their seeds are not replayable by
+// construction).
 TrialOutcome replay_scenario_trial(const ScenarioSpec& spec,
-                                   std::uint64_t seed,
-                                   std::string* trace_out);
+                                   std::uint64_t seed, Trace* trace_out);
 
 // The spec's environment as a runtime-agnostic RuntimeConfig for the given
 // trial seed (failure-degrade wrapping applied to the delay model, channel

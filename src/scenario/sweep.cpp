@@ -23,6 +23,10 @@ void ScenarioAggregate::merge(const ScenarioAggregate& other) {
   violation_seeds.insert(violation_seeds.end(),
                          other.violation_seeds.begin(),
                          other.violation_seeds.end());
+  // Commutative by construction (sum / max / bucket-sum), so the chunk
+  // tree's merge order cannot change the result.
+  metrics.merge(other.metrics);
+  wall += other.wall;
 }
 
 ScenarioAggregate run_scenario_trials(const ScenarioSpec& spec,
@@ -36,6 +40,11 @@ ScenarioAggregate run_scenario_trials(const ScenarioSpec& spec,
         for (std::uint64_t s = seed_lo; s < seed_hi; ++s) {
           const ScenarioTrialResult run = run_scenario_trial(spec, s);
           ++out.trials;
+          // Harvest observability from every trial, failed ones included —
+          // the metrics of a stalled cell are exactly what report exists
+          // to show.
+          if (run.has_metrics) out.metrics.merge(run.metrics);
+          out.wall += run.wall;
           if (!run.completed) {
             if (run.stalled) {
               ++out.stalled;
@@ -108,7 +117,7 @@ std::string json_escape(const std::string& s) {
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes) {
   os << "{\n"
-     << "  \"schema\": \"abe-scenario-sweep-v4\",\n"
+     << "  \"schema\": \"abe-scenario-sweep-v5\",\n"
      << "  \"metadata\": {\n"
      << "    \"git_sha\": \"" << json_escape(metadata.git_sha) << "\",\n"
      << "    \"compiler\": \"" << json_escape(metadata.compiler) << "\",\n"
@@ -164,9 +173,15 @@ void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
     for (std::size_t k = 0; k < emit; ++k) {
       os << (k == 0 ? "" : ", ") << agg.violation_seeds[k];
     }
+    std::string metrics_json;
+    agg.metrics.append_json(&metrics_json);
     os << "],\n"
        << "      \"messages\": " << agg.messages.to_json() << ",\n"
-       << "      \"time\": " << agg.time.to_json() << "\n    }";
+       << "      \"time\": " << agg.time.to_json() << ",\n"
+       << "      \"metrics\": " << metrics_json << ",\n"
+       << "      \"wall\": {\"build_ms\": " << agg.wall.build_ms
+       << ", \"run_ms\": " << agg.wall.run_ms
+       << ", \"settle_ms\": " << agg.wall.settle_ms << "}\n    }";
   }
   os << "\n  ]\n}\n";
 }
@@ -190,6 +205,25 @@ std::string render_sweep_table(
          Table::fmt(agg.messages.mean(), 1), Table::fmt(agg.time.mean(), 1)});
   }
   return table.render();
+}
+
+std::string render_metrics_report(
+    const std::vector<SweepCellOutcome>& outcomes) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ScenarioAggregate& agg = outcomes[i].aggregate;
+    if (i > 0) os << "\n";
+    os << "=== " << outcomes[i].spec.cell_id() << " ===\n";
+    os << "trials: " << agg.trials << "  wall: build "
+       << agg.wall.build_ms << " ms, run " << agg.wall.run_ms
+       << " ms, settle " << agg.wall.settle_ms << " ms\n";
+    if (agg.metrics.empty()) {
+      os << "(no metrics harvested)\n";
+    } else {
+      os << agg.metrics.render();
+    }
+  }
+  return os.str();
 }
 
 }  // namespace abe

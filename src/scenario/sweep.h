@@ -9,15 +9,19 @@
 // of the trial seed, so graph randomness is part of the Monte-Carlo estimate
 // and equally reproducible.
 //
-// The JSON document (schema "abe-scenario-sweep-v4") carries the same
+// The JSON document (schema "abe-scenario-sweep-v5") carries the same
 // provenance metadata as the BENCH_*.json perf trajectory — git sha,
 // compiler, build type, thread count, the event-queue backend, plus the
 // execution runtime — so sweep results are attributable to a commit,
 // toolchain, scheduler and substrate; bench/validate_scenarios.py checks
-// the structure (v2/v3 documents, which predate the runtime and adversary
-// axes respectively, are still accepted there). v4 adds the safety-probe
-// fields: per-cell stalled counts, behavior/adversary axis values, and
-// the replayable seeds behind any safety violations.
+// the structure (v2/v3/v4 documents, which predate the runtime axis, the
+// adversary axes, and the observability block respectively, are still
+// accepted there). v4 added the safety-probe fields: per-cell stalled
+// counts, behavior/adversary axis values, and the replayable seeds behind
+// any safety violations. v5 adds the observability block: a per-cell
+// "metrics" array (the merged MetricsSnapshot, deterministic on simulator
+// cells) and a "wall" object (summed wall-clock phase times, never
+// deterministic).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/runtime.h"
 #include "scenario/scenario.h"
 #include "stats/summary.h"
@@ -60,6 +65,16 @@ struct ScenarioAggregate {
   // preserves it) — each replayable via replay_scenario_trial on
   // simulator cells. The JSON emitter caps the list it prints.
   std::vector<std::uint64_t> violation_seeds;
+  // Merged metrics snapshot over ALL trials (failed ones included —
+  // observability exists for the failures). The merge is commutative and
+  // associative (counters sum, gauges max, histogram buckets sum), so the
+  // trial pool's chunk tree yields the same snapshot for every thread
+  // count; on simulator cells it is bit-identical for a fixed seed base.
+  MetricsSnapshot metrics;
+  // Summed wall-clock phase times over all trials. Real elapsed time,
+  // never deterministic; reported for profiling, excluded from any
+  // bit-identity comparison.
+  WallPhaseTimes wall;
 
   void merge(const ScenarioAggregate& other);
 };
@@ -104,11 +119,16 @@ std::vector<SweepCellOutcome> run_sweep(
     std::uint64_t seed_base = 1, unsigned threads = 0,
     const SweepProgressFn& progress = nullptr);
 
-// Structured per-cell JSON, schema "abe-scenario-sweep-v4".
+// Structured per-cell JSON, schema "abe-scenario-sweep-v5".
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes);
 
 // Aligned ASCII table of the outcomes (one row per cell).
 std::string render_sweep_table(const std::vector<SweepCellOutcome>& outcomes);
+
+// Per-cell metrics report: one block per cell with its merged metrics
+// table and summed wall-phase times (`abe_scenarios report`).
+std::string render_metrics_report(
+    const std::vector<SweepCellOutcome>& outcomes);
 
 }  // namespace abe

@@ -51,6 +51,8 @@ EventId Scheduler::schedule_at(SimTime when, Action action) {
   s.live = true;
   q_push(QueueEntry{time_to_bits(when), next_seq_, slot});
   ++next_seq_;
+  ++scheduled_;
+  if (q_size() > queue_high_water_) queue_high_water_ = q_size();
   // Threshold check inline; the out-of-line migration itself runs at most
   // once per scheduler lifetime.
   if (auto_backend_ && q_size() > kEqueueAutoThreshold) maybe_migrate();
@@ -85,6 +87,7 @@ bool Scheduler::cancel(EventId id) {
   if (!s.live || (s.gen & kGenMask) != gen) return false;
   ABE_CHECK(q_erase(slot)) << "live slot missing from backend";
   release_slot(slot);
+  ++cancelled_;
   return true;
 }
 

@@ -114,6 +114,16 @@ class Scheduler {
   // Total events processed over the scheduler's lifetime (for metrics).
   std::uint64_t processed_count() const { return processed_; }
 
+  // Lifetime schedule_at/schedule_in calls and successful cancels; together
+  // with processed_count these are the scheduler rows of the obs metrics
+  // snapshot (obs/metrics.h). Always-on plain counters: one add (plus one
+  // compare for the high-water mark) per schedule is in the noise on
+  // bench_e1_scheduler, which gates this file's hot path.
+  std::uint64_t scheduled_count() const { return scheduled_; }
+  std::uint64_t cancelled_count() const { return cancelled_; }
+  // Largest pending-set size ever observed after a push.
+  std::uint64_t queue_high_water() const { return queue_high_water_; }
+
   // Number of event records ever allocated: the high-water mark of
   // simultaneously live events, NOT of schedules. Tests assert this stays
   // bounded under schedule/cancel churn (the lazy-deletion design leaked a
@@ -192,6 +202,9 @@ class Scheduler {
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t queue_high_water_ = 0;
   bool stop_requested_ = false;
   bool auto_backend_ = false;  // still eligible to migrate
 

@@ -1,6 +1,9 @@
 #include "trace/trace.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "util/check.h"
 
 namespace abe {
 
@@ -28,20 +31,72 @@ const char* trace_kind_name(TraceKind kind) {
 
 std::string TraceEvent::to_string() const {
   std::ostringstream os;
-  os << "[t=" << time << "] " << trace_kind_name(kind) << " node=" << node
-     << " " << detail;
+  os << "[t=" << time << "] " << trace_kind_name(kind) << " node=" << node;
+  if (!detail.empty()) {
+    os << " " << detail;
+  } else if (arg >= 0) {
+    os << " arg=" << arg;
+  }
   return os.str();
 }
 
+void Trace::set_capacity(std::size_t capacity) {
+  ABE_CHECK_GE(capacity, std::size_t{1});
+  if (capacity == capacity_) return;
+  // Re-linearize so the invariants (head_ = oldest, append at head_ when
+  // full) hold for the new capacity; keeps the newest events on shrink.
+  std::vector<TraceEvent> kept = events();
+  if (kept.size() > capacity) {
+    kept.erase(kept.begin(),
+               kept.begin() + static_cast<std::ptrdiff_t>(kept.size() -
+                                                          capacity));
+  }
+  ring_ = std::move(kept);
+  head_ = 0;
+  capacity_ = capacity;
+}
+
 void Trace::record(SimTime time, TraceKind kind, NodeId node,
-                   std::string detail) {
-  if (!enabled_) return;
-  events_.push_back(TraceEvent{time, kind, node, std::move(detail)});
+                   std::int64_t arg) {
+  push(TraceEvent{time, kind, node, arg, std::string()});
+}
+
+void Trace::record(SimTime time, TraceKind kind, NodeId node,
+                   std::string detail, std::int64_t arg) {
+  push(TraceEvent{time, kind, node, arg, std::move(detail)});
+}
+
+void Trace::push(TraceEvent event) {
+  counts_[static_cast<std::size_t>(event.kind)] += 1;
+  recorded_ += 1;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[head_] = std::move(event);
+  head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Trace::clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  std::fill(std::begin(counts_), std::end(counts_), 0);
 }
 
 std::vector<TraceEvent> Trace::filter(TraceKind kind) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = ring_[(head_ + i) % ring_.size()];
     if (e.kind == kind) out.push_back(e);
   }
   return out;
@@ -49,24 +104,17 @@ std::vector<TraceEvent> Trace::filter(TraceKind kind) const {
 
 std::vector<TraceEvent> Trace::for_node(NodeId node) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = ring_[(head_ + i) % ring_.size()];
     if (e.node == node) out.push_back(e);
   }
   return out;
 }
 
-std::size_t Trace::count(TraceKind kind) const {
-  std::size_t n = 0;
-  for (const auto& e : events_) {
-    if (e.kind == kind) ++n;
-  }
-  return n;
-}
-
 std::string Trace::to_string() const {
   std::ostringstream os;
-  for (const auto& e : events_) {
-    os << e.to_string() << "\n";
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    os << ring_[(head_ + i) % ring_.size()].to_string() << "\n";
   }
   return os.str();
 }

@@ -1,10 +1,24 @@
-// Structured event tracing.
+// Structured event tracing: a bounded ring-buffer flight recorder.
 //
-// Tests assert on exact event sequences of small scenarios; examples can dump
-// a readable run transcript. Tracing is off by default and has near-zero cost
-// when disabled.
+// The trace is ALWAYS on at a small capacity (kFlightCapacity): every
+// runtime keeps the most recent events of each trial, so a stalled or
+// safety-violating trial can dump its recent history without anyone having
+// pre-enabled tracing (run_algorithm_trial attaches the tail to the
+// TrialOutcome). enable() switches to full mode — a much larger ring plus
+// the free-form detail strings replay transcripts are made of.
+//
+// Cost model: in flight mode records carry only POD fields plus a numeric
+// `arg` (edge index, timer tag, tick number…); callers must not format
+// detail strings unless enabled() says full mode. Per-kind counts are
+// maintained incrementally, so count() is O(1) and monotonic since the
+// last clear() — it keeps counting events the ring has already evicted.
+//
+// Thread safety: none here. The simulator records single-threaded; the
+// thread runtime wraps its Trace in an AnnotatedMutex (runtime/thread_net.h)
+// and stamps records with mailbox delivery time.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,44 +39,88 @@ enum class TraceKind : std::uint8_t {
   kCustom,
 };
 
+inline constexpr std::size_t kTraceKindCount = 8;
+
 const char* trace_kind_name(TraceKind kind);
 
 struct TraceEvent {
   SimTime time = 0.0;
   TraceKind kind = TraceKind::kCustom;
   NodeId node;          // primary node involved (receiver for deliveries)
-  std::string detail;   // free-form, e.g. "hop=3" or "idle->passive"
+  std::int64_t arg = -1;  // cheap numeric context (edge, tag, …); -1 = none
+  std::string detail;   // free-form, e.g. "hop=3"; full mode only
 
   std::string to_string() const;
 };
 
 class Trace {
  public:
-  // Disabled by default; enable() before the run to record.
-  void enable() { enabled_ = true; }
+  // Always-on flight-recorder ring: large enough to reconstruct the last
+  // few protocol rounds of a small cell, small enough to be free.
+  static constexpr std::size_t kFlightCapacity = 256;
+  // Full-mode ring: effectively unbounded for test-sized runs, bounded for
+  // everything else (the old Trace grew a vector without limit).
+  static constexpr std::size_t kFullCapacity = std::size_t{1} << 20;
+
+  Trace() { ring_.reserve(16); }
+
+  // Full mode: grows the ring to kFullCapacity and keeps detail strings.
+  void enable() {
+    enabled_ = true;
+    if (capacity_ < kFullCapacity) set_capacity(kFullCapacity);
+  }
   void disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
-  void record(SimTime time, TraceKind kind, NodeId node, std::string detail);
+  // Ring capacity (>= 1). Shrinking drops the oldest events.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  // Records an event. The detail overload is for full-mode call sites (and
+  // log(), whose payload IS the string); hot paths should pass numeric args
+  // only unless enabled().
+  void record(SimTime time, TraceKind kind, NodeId node,
+              std::int64_t arg = -1);
+  void record(SimTime time, TraceKind kind, NodeId node, std::string detail,
+              std::int64_t arg = -1);
 
-  // All events of one kind, in order.
+  // Events still held by the ring, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const { return ring_.size(); }
+  void clear();
+
+  // Retained events of one kind / touching one node, in order. O(retained),
+  // which the ring bounds by capacity().
   std::vector<TraceEvent> filter(TraceKind kind) const;
-
-  // All events touching one node, in order.
   std::vector<TraceEvent> for_node(NodeId node) const;
 
-  // Number of recorded events of `kind`.
-  std::size_t count(TraceKind kind) const;
+  // Number of events of `kind` recorded since clear(), INCLUDING events the
+  // ring has evicted. O(1) — maintained incrementally at record time.
+  std::uint64_t count(TraceKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  // All events recorded since clear() / evicted from the ring.
+  std::uint64_t total_recorded() const { return recorded_; }
+  std::uint64_t evicted() const { return recorded_ - ring_.size(); }
 
-  // Full transcript, one event per line.
+  // Transcript of the retained events, one per line.
   std::string to_string() const;
 
  private:
+  void push(TraceEvent event);
+
   bool enabled_ = false;
-  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = kFlightCapacity;
+  // Ring storage: grows to capacity_, then wraps; head_ indexes the oldest
+  // retained event once full.
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  // Backing store of count(kind) and the "trace.recorded" snapshot row:
+  // monotonic per-kind totals including evicted events, so count() is O(1)
+  // regardless of ring wraparound.
+  // abe-lint: allow(no-adhoc-counters)
+  std::uint64_t counts_[kTraceKindCount] = {};
+  std::uint64_t recorded_ = 0;
 };
 
 }  // namespace abe

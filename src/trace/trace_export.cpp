@@ -1,0 +1,83 @@
+#include "trace/trace_export.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+
+namespace abe {
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events) {
+  const auto flags = os.flags();
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": ";
+    write_json_string(os, trace_kind_name(e.kind));
+    os << ", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": "
+       << e.node.value() << ", \"ts\": " << e.time * 1e6 << ", \"args\": {";
+    os << "\"arg\": " << e.arg;
+    if (!e.detail.empty()) {
+      os << ", \"detail\": ";
+      write_json_string(os, e.detail);
+    }
+    os << "}}";
+  }
+  os << "\n]\n";
+  os.flags(flags);
+}
+
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<TraceEvent>& events) {
+  const auto flags = os.flags();
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const TraceEvent& e : events) {
+    os << "{\"t\": " << e.time << ", \"kind\": ";
+    write_json_string(os, trace_kind_name(e.kind));
+    os << ", \"node\": " << e.node.value() << ", \"arg\": " << e.arg;
+    if (!e.detail.empty()) {
+      os << ", \"detail\": ";
+      write_json_string(os, e.detail);
+    }
+    os << "}\n";
+  }
+  os.flags(flags);
+}
+
+}  // namespace abe

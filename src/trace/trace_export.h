@@ -1,0 +1,26 @@
+// Trace exporters: Chrome trace-event JSON and JSONL.
+//
+// write_chrome_trace emits the Trace Event Format's JSON-array flavor
+// (instant events, one Chrome "thread" per node), loadable in
+// chrome://tracing / Perfetto — `abe_scenarios trace --chrome` turns a
+// replayed violation seed into a timeline. One sim time unit maps to one
+// second, so `ts` (microseconds) = time × 1e6.
+//
+// write_trace_jsonl emits one JSON object per line ({"t", "kind", "node",
+// "arg", "detail"}) for jq-style ad-hoc analysis.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace abe {
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events);
+
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<TraceEvent>& events);
+
+}  // namespace abe

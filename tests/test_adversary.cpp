@@ -260,14 +260,15 @@ TEST(AdversarySafetyProbe, CapturedViolationSeedReplaysBitIdentically) {
   ASSERT_TRUE(original.completed);
   ASSERT_FALSE(original.safety_ok);
 
-  std::string trace;
+  Trace trace;
   const TrialOutcome replayed = replay_scenario_trial(spec, 1, &trace);
   EXPECT_EQ(replayed.completed, original.completed);
   EXPECT_EQ(replayed.safety_ok, original.safety_ok);
   EXPECT_EQ(replayed.safety_detail, original.safety_detail);
   EXPECT_EQ(replayed.messages, original.messages);
   EXPECT_EQ(replayed.time, original.time);
-  EXPECT_FALSE(trace.empty()) << "replay must surface the event transcript";
+  EXPECT_GT(trace.size(), 0u) << "replay must surface the event transcript";
+  EXPECT_FALSE(trace.to_string().empty());
 }
 
 // --- thread-runtime adversarial cells (TSan coverage) ------------------------

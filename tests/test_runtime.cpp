@@ -13,9 +13,12 @@
 #include "runtime/mailbox.h"
 #include "runtime/runtime.h"
 #include "runtime/thread_net.h"
+#include "scenario/drivers.h"
 #include "scenario/scenario.h"
 #include "scenario/sweep.h"
+#include "sim/rng.h"
 #include "stats/summary.h"
+#include "trace/trace.h"
 
 namespace abe {
 namespace {
@@ -391,6 +394,58 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ParityCase>& info) {
       return std::string(info.param.name);
     });
+
+// The RuntimeConfig::trace flag must be honored on BOTH substrates (the
+// thread runtime used to silently drop it). Run one reliable honest ring
+// cell with full tracing on each runtime and check the recorder against
+// the stats counters: a trace is only trustworthy evidence if it saw every
+// message the network counted.
+TEST(CrossRuntimeParity, TraceSendDeliverCountsMatchStats) {
+  ScenarioSpec spec;
+  spec.algorithm = ScenarioAlgorithm::kRingElection;
+  spec.topology = TopologySpec{TopologyFamily::kRingUni, 6, 0.0};
+  spec.failure = FailureProfile::none();
+  spec.settle_time = 5.0;
+  spec.deadline = 2e4;
+  spec.thread_time_scale_us = 100.0;
+  spec.thread_wall_timeout_ms = 10000.0;
+
+  const std::uint64_t seed = 7;
+  Rng topo_rng = Rng(seed).substream("scenario-topology");
+  const Topology topology = spec.topology.build(topo_rng);
+
+  for (const RuntimeKind kind : {RuntimeKind::kSim, RuntimeKind::kThread}) {
+    SCOPED_TRACE(runtime_kind_name(kind));
+    ScenarioTrialDriver binding = make_scenario_driver(spec, topology, seed);
+    RuntimeConfig config = scenario_runtime_config(spec, topology, seed);
+    config.trace = true;
+
+    // run_algorithm_trial's lifecycle, inlined so the runtime survives for
+    // inspection after the trial.
+    binding.driver->configure(config);
+    const SimTime deadline = config.deadline;
+    std::unique_ptr<Runtime> rt = make_runtime(kind, std::move(config));
+    rt->build_nodes(
+        [&](std::size_t i) { return binding.driver->make_node(i); });
+    rt->start();
+    const bool completed = rt->run_until_done(
+        [&] { return binding.driver->done(*rt); }, deadline);
+    ASSERT_TRUE(completed) << "reliable honest ring cell must complete";
+    binding.driver->on_complete(*rt);
+    binding.driver->settle(*rt, completed);
+    rt->stop();
+
+    const RunStats stats = rt->stats();
+    const Trace trace = rt->trace_snapshot();
+    EXPECT_TRUE(trace.enabled()) << "trace flag was dropped by the runtime";
+    EXPECT_GT(stats.messages_sent, 0u);
+    // count() is monotonic past ring eviction, so these hold even if the
+    // run outgrew the ring.
+    EXPECT_EQ(trace.count(TraceKind::kSend), stats.messages_sent);
+    EXPECT_EQ(trace.count(TraceKind::kDeliver), stats.messages_delivered);
+    EXPECT_EQ(trace.count(TraceKind::kDrop), stats.messages_dropped);
+  }
+}
 
 }  // namespace
 }  // namespace abe

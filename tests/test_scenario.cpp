@@ -470,7 +470,7 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   std::ostringstream os;
   write_sweep_json(os, meta, outcomes);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v4\""),
+  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v5\""),
             std::string::npos);
   EXPECT_NE(json.find("\"git_sha\": \"cafe123\""), std::string::npos);
   EXPECT_NE(json.find("\"trial_threads\": 4"), std::string::npos);
@@ -483,6 +483,10 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   EXPECT_NE(json.find("\"adversary\": \"none\""), std::string::npos);
   EXPECT_NE(json.find("\"safety_violations\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"violation_seeds\": []"), std::string::npos);
+  // v5 observability block: per-cell metrics array + wall phase object.
+  EXPECT_NE(json.find("\"metrics\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"net.sent\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall\": {\"build_ms\": "), std::string::npos);
   // Balanced braces: cheap structural sanity (CI runs the real validator,
   // bench/validate_scenarios.py, on emitted files).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),

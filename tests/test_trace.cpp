@@ -7,11 +7,56 @@
 namespace abe {
 namespace {
 
-TEST(Trace, DisabledByDefault) {
+TEST(Trace, FlightRecorderAlwaysOn) {
+  // The flight recorder records even before enable(): a small always-on
+  // ring so failing trials can dump recent history without pre-enabling.
   Trace trace;
   EXPECT_FALSE(trace.enabled());
   trace.record(1.0, TraceKind::kSend, NodeId{0}, "x");
-  EXPECT_TRUE(trace.events().empty());
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kSend), 1u);
+  EXPECT_EQ(trace.capacity(), Trace::kFlightCapacity);
+}
+
+TEST(Trace, EnableRaisesCapacity) {
+  Trace trace;
+  trace.enable();
+  EXPECT_TRUE(trace.enabled());
+  EXPECT_EQ(trace.capacity(), Trace::kFullCapacity);
+}
+
+TEST(Trace, RingWrapsAndKeepsNewest) {
+  Trace trace;  // lite mode: capacity kFlightCapacity
+  const std::size_t cap = Trace::kFlightCapacity;
+  for (std::size_t i = 0; i < cap + 10; ++i) {
+    trace.record(static_cast<double>(i), TraceKind::kSend, NodeId{0},
+                 static_cast<std::int64_t>(i));
+  }
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), cap);
+  // Oldest retained is the 11th record; newest is the last; chronological.
+  EXPECT_EQ(events.front().arg, 10);
+  EXPECT_EQ(events.back().arg, static_cast<std::int64_t>(cap + 9));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  // Counts are monotonic over the whole run, eviction included.
+  EXPECT_EQ(trace.count(TraceKind::kSend), cap + 10);
+  EXPECT_EQ(trace.total_recorded(), cap + 10);
+  EXPECT_EQ(trace.evicted(), 10u);
+}
+
+TEST(Trace, SetCapacityRelinearizesKeepingNewest) {
+  Trace trace;
+  for (int i = 0; i < 20; ++i) {
+    trace.record(static_cast<double>(i), TraceKind::kTick, NodeId{0},
+                 static_cast<std::int64_t>(i));
+  }
+  trace.set_capacity(5);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events.front().arg, 15);
+  EXPECT_EQ(events.back().arg, 19);
 }
 
 TEST(Trace, RecordsWhenEnabled) {

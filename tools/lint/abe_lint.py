@@ -36,6 +36,20 @@ that true, so this linter enforces them:
                   advertised expected-delay bound. A policy that spawns
                   its own delay model bypasses that check and can violate
                   the ABE contract silently.
+  no-adhoc-counters
+                  No hand-rolled tally members (integral or atomic members
+                  named *count_/*counter_/*tally_) in the infrastructure
+                  layers (src/sim/, src/net/, src/runtime/, src/trace/):
+                  a counter that exists to be observed belongs in the
+                  obs/metrics.h registry, or must be the documented
+                  backing store of a metrics_snapshot() row (allow() it
+                  there, with the row named in a comment). Scattered
+                  one-off tallies are exactly what the metrics registry
+                  replaced — they have no snapshot order, no merge
+                  semantics, and no JSON surface. Algorithm state that
+                  happens to count things (vote tallies, round counters in
+                  src/algo/, src/core/, …) is protocol logic, not
+                  observability, and is out of scope by path.
 
 Suppressions (each names the rule, so waivers stay narrow):
   // abe-lint: allow(<rule>)        on the offending or preceding line
@@ -120,8 +134,24 @@ DELAY_FACTORY_RE = re.compile(
 )
 ADVERSARY_PATH_PREFIX = "src/adversary/"
 
+# --- no-adhoc-counters -----------------------------------------------------
+
+# Member declarations (trailing-underscore naming) of integral or atomic
+# integral type whose name reads as a tally. Locals named `count` in a loop
+# are fine — observability state is member state.
+ADHOC_COUNTER_RE = re.compile(
+    r"\b(?:std::)?(?:atomic\s*<[^<>]*>|u?int(?:8|16|32|64)?_t|size_t|"
+    r"unsigned(?:\s+(?:int|long|long\s+long))?|long\s+long|long|int)\s+"
+    r"(?:\w*(?:count|counter|tally)s?_)\s*(?:=|;|\{|\[)"
+)
+# The layers whose counters feed metrics_snapshot(); algorithm/protocol
+# state elsewhere is out of scope.
+ADHOC_COUNTER_PATH_PREFIXES = (
+    "src/sim/", "src/net/", "src/runtime/", "src/trace/",
+)
+
 RULES = ("wall-clock", "unordered-iter", "env-read", "inline-capture",
-         "adversary-delay")
+         "adversary-delay", "no-adhoc-counters")
 
 
 class Finding:
@@ -288,6 +318,22 @@ def check_adversary_delay(relpath, lines, add):
             )
 
 
+def check_no_adhoc_counters(relpath, lines, add):
+    if not relpath.startswith(ADHOC_COUNTER_PATH_PREFIXES):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        if ADHOC_COUNTER_RE.search(line):
+            add(
+                lineno,
+                "no-adhoc-counters",
+                "hand-rolled tally member in infrastructure code: a "
+                "counter that exists to be observed belongs in the "
+                "obs/metrics.h registry or must be the documented backing "
+                "store of a metrics_snapshot() row (allow() it there, "
+                "naming the row)",
+            )
+
+
 # (check, needs_string_literals) — env-read matches on the "ABE_" literal.
 CHECKS = (
     (check_wall_clock, False),
@@ -295,6 +341,7 @@ CHECKS = (
     (check_env_read, True),
     (check_inline_capture, False),
     (check_adversary_delay, False),
+    (check_no_adhoc_counters, False),
 )
 
 

@@ -1,0 +1,17 @@
+// abe-lint-fixture-path: src/algo/fake_votes.h
+// Protocol state that happens to count things: vote tallies are algorithm
+// logic, not observability, and src/algo/ is out of the rule's scope.
+#include <cstdint>
+
+namespace abe {
+
+class FakeVoteCollector {
+ public:
+  void on_vote() { ++vote_count_; }
+  std::uint64_t votes() const { return vote_count_; }
+
+ private:
+  std::uint64_t vote_count_ = 0;
+};
+
+}  // namespace abe

@@ -1,0 +1,19 @@
+// abe-lint-fixture-path: src/net/fake_link.h
+// A hand-rolled tally member in network infrastructure: this count exists
+// purely to be reported, so it must be an obs/metrics.h registry counter
+// (or a documented backing store of a metrics_snapshot() row).
+#include <atomic>
+#include <cstdint>
+
+namespace abe {
+
+class FakeLink {
+ public:
+  void on_drop() { drop_count_.fetch_add(1); }
+
+ private:
+  std::atomic<std::uint64_t> drop_count_{0};
+  std::uint64_t retry_tally_ = 0;
+};
+
+}  // namespace abe
