@@ -1,0 +1,233 @@
+// E14 — Flight recorder and causal-stamp overhead: the tracing hot path.
+//
+// Every runtime records EVERY trial into the always-on 256-event flight ring
+// (trace.h), and since the causal-tracing work each record also carries the
+// cause id plus the DELIVER delay/work attribution — so record() sits on the
+// simulator's per-event hot path with observability nominally "off". This
+// bench pins that cost and the analysis layered on top:
+//
+//   record/flight  — lite-mode records (numeric args only, no detail
+//                    strings) into the wrapping 256-slot ring: the price
+//                    every simulated event pays unconditionally.
+//   record/causal  — the same records into a causal_history ring
+//                    (kFullCapacity): what `critical-path` replays pay.
+//   record/detail  — full mode with formatted detail strings, for scale.
+//   filter         — per-kind scan of a saturated flight ring (the failure
+//                    dump path), after the reserve-from-counts fix.
+//   extract        — happens-before walk + attribution of
+//                    extract_critical_path (obs/causal.h) over chains the
+//                    ring model actually produces.
+//
+// The strict A/B gate (ci.yml) runs BM_TraceRecordFlight and
+// BM_ExtractCriticalPath back to back on like hardware: a regression in
+// either is a tax on every trial or on every critical-path report.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/causal.h"
+#include "stats/table.h"
+#include "trace/trace.h"
+
+namespace abe {
+namespace {
+
+// A decision-terminated chain shaped like a ring election's token walk:
+// root tick, then `hops` SEND->DELIVER pairs marching around nodes, each
+// DELIVER causing the next SEND. extract_critical_path walks all of it.
+std::vector<TraceEvent> synthetic_chain(std::size_t hops) {
+  Trace trace;
+  trace.set_capacity(2 * hops + 8);
+  std::int64_t cause =
+      trace.record(0.5, TraceKind::kTick, NodeId{0}, /*arg=*/0);
+  double t = 0.5;
+  for (std::size_t h = 0; h < hops; ++h) {
+    const auto edge = static_cast<std::int64_t>(h % 64);
+    const std::int64_t send =
+        trace.record(t, TraceKind::kSend, NodeId{edge}, edge, cause);
+    t += 1.0;
+    cause = trace.record(t, TraceKind::kDeliver, NodeId{edge + 1}, edge, send,
+                         /*delay=*/0.7, /*work=*/0.1);
+  }
+  return trace.events();
+}
+
+NodeId chain_decision_node(std::size_t hops) {
+  return NodeId{static_cast<std::int64_t>((hops - 1) % 64) + 1};
+}
+
+void record_batch(Trace& trace, std::uint64_t batch) {
+  // Alternating SEND/DELIVER with cause and attribution stamps: the shape
+  // (and field traffic) of the simulator's per-event record calls.
+  std::int64_t cause = -1;
+  for (std::uint64_t i = 0; i < batch; ++i) {
+    const double t = static_cast<double>(i);
+    if ((i & 1u) == 0u) {
+      cause = trace.record(t, TraceKind::kSend, NodeId{0},
+                           static_cast<std::int64_t>(i & 63u), cause);
+    } else {
+      cause = trace.record(t, TraceKind::kDeliver, NodeId{1},
+                           static_cast<std::int64_t>(i & 63u), cause,
+                           /*delay=*/0.7, /*work=*/0.1);
+    }
+  }
+}
+
+}  // namespace
+
+namespace benchutil {
+
+void print_experiment_tables() {
+  print_header("E14",
+               "the always-on flight recorder (now carrying causal stamps) "
+               "prices every simulated event; critical-path extraction "
+               "prices every profiled trial");
+
+  Table table({"workload", "n", "ops", "seconds", "ops/s"});
+  const auto time_ops = [&](const char* name, std::size_t n,
+                            std::uint64_t ops, auto&& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    table.add_row({name, Table::fmt_int(static_cast<std::int64_t>(n)),
+                   Table::fmt_int(static_cast<std::int64_t>(ops)),
+                   Table::fmt(secs, 3),
+                   Table::fmt(static_cast<double>(ops) / secs, 0)});
+  };
+
+  constexpr std::uint64_t kRecords = 1u << 22;
+  {
+    Trace trace;  // lite flight mode: the unconditional per-event price
+    time_ops("record/flight", Trace::kFlightCapacity, kRecords,
+             [&] { record_batch(trace, kRecords); });
+  }
+  {
+    Trace trace;
+    trace.set_capacity(Trace::kFullCapacity);  // causal_history replay mode
+    time_ops("record/causal", Trace::kFullCapacity, kRecords,
+             [&] { record_batch(trace, kRecords); });
+  }
+  {
+    Trace trace;
+    trace.enable();
+    constexpr std::uint64_t kDetailRecords = 1u << 18;
+    time_ops("record/detail", Trace::kFullCapacity, kDetailRecords, [&] {
+      for (std::uint64_t i = 0; i < kDetailRecords; ++i) {
+        trace.record(static_cast<double>(i), TraceKind::kSend, NodeId{0},
+                     "edge=" + std::to_string(i & 63u),
+                     static_cast<std::int64_t>(i & 63u));
+      }
+    });
+  }
+  {
+    Trace trace;
+    record_batch(trace, 2 * Trace::kFlightCapacity);  // saturated ring
+    constexpr std::uint64_t kFilters = 1u << 14;
+    time_ops("filter", Trace::kFlightCapacity, kFilters, [&] {
+      for (std::uint64_t i = 0; i < kFilters; ++i) {
+        benchmark::DoNotOptimize(trace.filter(TraceKind::kSend));
+      }
+    });
+  }
+  std::printf("%s\n", table.render("E14: trace recording").c_str());
+
+  Table extract_table({"hops", "events", "extracts", "seconds", "extracts/s"});
+  for (std::size_t hops : {8u, 128u, 4096u}) {
+    const std::vector<TraceEvent> events = synthetic_chain(hops);
+    const NodeId decision = chain_decision_node(hops);
+    const double decision_time = events.back().time;
+    const std::uint64_t extracts = (std::uint64_t{1} << 22) / (2 * hops + 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t total_hops = 0;
+    for (std::uint64_t i = 0; i < extracts; ++i) {
+      const CriticalPath path =
+          extract_critical_path(events, decision, decision_time);
+      total_hops += path.hops;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    benchmark::DoNotOptimize(total_hops);
+    extract_table.add_row(
+        {Table::fmt_int(static_cast<std::int64_t>(hops)),
+         Table::fmt_int(static_cast<std::int64_t>(events.size())),
+         Table::fmt_int(static_cast<std::int64_t>(extracts)),
+         Table::fmt(secs, 3),
+         Table::fmt(static_cast<double>(extracts) / secs, 0)});
+  }
+  std::printf("%s\n",
+              extract_table.render("E14b: critical-path extraction").c_str());
+}
+
+}  // namespace benchutil
+
+// --- microbenchmarks (the tracked perf trajectory) -------------------------
+
+// The unconditional hot path: lite flight-ring records with causal stamps.
+// range(0) selects the ring: 0 = flight (256), 1 = causal_history (2^20).
+static void BM_TraceRecordFlight(benchmark::State& state) {
+  constexpr std::uint64_t kBatch = 4096;
+  Trace trace;
+  if (state.range(0) == 1) trace.set_capacity(Trace::kFullCapacity);
+  for (auto _ : state) {
+    record_batch(trace, kBatch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_TraceRecordFlight)->Arg(0)->Arg(1)->ArgName("ring");
+
+// Full mode with detail strings: the replay-transcript price for scale.
+static void BM_TraceRecordDetail(benchmark::State& state) {
+  constexpr std::uint64_t kBatch = 1024;
+  Trace trace;
+  trace.enable();
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      trace.record(static_cast<double>(i), TraceKind::kSend, NodeId{0},
+                   "edge=" + std::to_string(i & 63u),
+                   static_cast<std::int64_t>(i & 63u));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_TraceRecordDetail);
+
+// The failure-dump path: per-kind filter of a saturated flight ring.
+static void BM_TraceFilter(benchmark::State& state) {
+  Trace trace;
+  record_batch(trace, 2 * Trace::kFlightCapacity);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.filter(TraceKind::kSend));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(Trace::kFlightCapacity / 2));
+}
+BENCHMARK(BM_TraceFilter);
+
+// Happens-before walk + exact attribution per profiled trial. Items =
+// DELIVER hops attributed.
+static void BM_ExtractCriticalPath(benchmark::State& state) {
+  const auto hops = static_cast<std::size_t>(state.range(0));
+  const std::vector<TraceEvent> events = synthetic_chain(hops);
+  const NodeId decision = chain_decision_node(hops);
+  const double decision_time = events.back().time;
+  for (auto _ : state) {
+    const CriticalPath path =
+        extract_critical_path(events, decision, decision_time);
+    benchmark::DoNotOptimize(path.span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_ExtractCriticalPath)->Arg(128)->Arg(4096)->ArgName("hops");
+
+}  // namespace abe
+
+ABE_BENCH_MAIN()

@@ -2,17 +2,19 @@
 """Validate abe_scenarios sweep JSON against the sweep schema.
 
   python3 bench/validate_scenarios.py sweep.json [more.json ...]
+  python3 bench/validate_scenarios.py --self-test
 
-Checks the structure the "abe-scenario-sweep-v5" schema promises — the
+Checks the structure the "abe-scenario-sweep-v6" schema promises — the
 metadata provenance block, per-cell axes (including the execution runtime
-and the adversarial behavior/adversary axes), aggregate summaries, and the
-v5 observability block — plus the one correctness gate a structural check
-can carry: safety_violations == 0 (a cell that elected two leaders is a
-bug, not a perf delta; the violation_seeds list in the document replays
-it). Older documents are still accepted: v2 is v3 minus the runtime
-fields, v3 is v4 minus the adversary/safety-probe fields, v4 is v5 minus
-the observability block. Exit codes: 0 valid, 1 schema violation or
-safety violation, 2 unreadable input.
+and the adversarial behavior/adversary axes), aggregate summaries, the
+v5 observability block and the v6 causal block — plus the one correctness
+gate a structural check can carry: safety_violations == 0 (a cell that
+elected two leaders is a bug, not a perf delta; the violation_seeds list
+in the document replays it). Older documents are still accepted: v2 is v3
+minus the runtime fields, v3 is v4 minus the adversary/safety-probe
+fields, v4 is v5 minus the observability block, v5 is v6 minus the causal
+block. Exit codes: 0 valid, 1 schema violation or safety violation, 2
+unreadable input.
 
 v5 observability block, per cell:
   "metrics": array of metric entries sorted ascending by "name"; each has
@@ -26,6 +28,23 @@ v5 observability block, per cell:
       summed wall-clock phase times across the cell's trials. Real
       elapsed time; never compared for determinism.
 
+v6 causal block, per cell (src/obs/causal.h):
+  "critical_path": object with non-negative int "considered" / "found" /
+      "truncated" (truncated <= found <= considered), six summary objects
+      "hops" / "span" / "channel_delay" / "processing" / "queueing" /
+      "waiting" (each counting the found paths), "top_channels" (at most
+      8 {"edge", "hops", "delay"} entries, descending by delay) and —
+      exactly when found > 0 — "worst": {"seed", "span"}, the replayable
+      worst trial. Deterministic on simulator cells.
+  "timeseries": OPTIONAL object {"interval" > 0, "trials" >= 1,
+      "samples": [{"t", "pending", "in_flight", "live"}, ...]} with
+      sample times ascending on the interval grid. Present only when the
+      run sampled the sim-time grid.
+
+`--self-test` validates built-in fixtures — a minimal document per schema
+version plus malformed-v6 documents that must be rejected — so CI catches
+a validator regression without needing a sweep artifact.
+
 CI runs this in the scenario-smoke job; it is dependency-free on purpose
 (stdlib json only).
 """
@@ -34,7 +53,8 @@ import json
 import sys
 
 SCHEMAS = ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3",
-           "abe-scenario-sweep-v4", "abe-scenario-sweep-v5")
+           "abe-scenario-sweep-v4", "abe-scenario-sweep-v5",
+           "abe-scenario-sweep-v6")
 
 METRIC_KINDS = ("counter", "gauge", "histogram")
 
@@ -59,6 +79,12 @@ RUNTIMES = ("sim", "thread")
 # The JSON emitter caps the violation_seeds list it prints; the count field
 # stays authoritative (src/scenario/sweep.cpp).
 MAX_EMITTED_SEEDS = 16
+
+# write_sweep_json emits at most this many top_channels entries per cell.
+MAX_TOP_CHANNELS = 8
+
+CRITICAL_PATH_SUMMARIES = ("hops", "span", "channel_delay", "processing",
+                           "queueing", "waiting")
 
 SUMMARY_FIELDS = {
     "count": int,
@@ -136,13 +162,91 @@ def validate_metrics(path, metrics, where):
     return True
 
 
+def validate_critical_path(path, cp, where):
+    """Checks one cell's v6 critical_path object (see module docstring)."""
+    at = f"{where}.critical_path"
+    if not isinstance(cp, dict):
+        return fail(path, f"{at} is not an object")
+    for key in ("considered", "found", "truncated"):
+        if not isinstance(cp.get(key), int) or cp[key] < 0:
+            return fail(path, f"{at}.{key} must be a non-negative integer")
+    if not cp["truncated"] <= cp["found"] <= cp["considered"]:
+        return fail(path, f"{at}: want truncated <= found <= considered, "
+                          f"got {cp['truncated']} / {cp['found']} / "
+                          f"{cp['considered']}")
+    for key in CRITICAL_PATH_SUMMARIES:
+        if key not in cp:
+            return fail(path, f"{at} missing summary '{key}'")
+        if not check_fields(path, cp[key], SUMMARY_FIELDS, f"{at}.{key}"):
+            return False
+        if cp[key]["count"] != cp["found"]:
+            return fail(path, f"{at}.{key}.count {cp[key]['count']} != "
+                              f"found {cp['found']}")
+    top = cp.get("top_channels")
+    if not isinstance(top, list) or len(top) > MAX_TOP_CHANNELS:
+        return fail(path, f"{at}.top_channels must be a list of at most "
+                          f"{MAX_TOP_CHANNELS} entries")
+    for j, entry in enumerate(top):
+        if not isinstance(entry, dict) or \
+                not isinstance(entry.get("edge"), int) or \
+                not isinstance(entry.get("hops"), int) or \
+                not isinstance(entry.get("delay"), (int, float)):
+            return fail(path, f"{at}.top_channels[{j}] malformed "
+                              "(want int edge, int hops, numeric delay)")
+    deltas = [entry["delay"] for entry in top]
+    if deltas != sorted(deltas, reverse=True):
+        return fail(path, f"{at}.top_channels not descending by delay")
+    has_worst = "worst" in cp
+    if has_worst != (cp["found"] > 0):
+        return fail(path, f"{at}.worst must be present exactly when "
+                          f"found > 0 (found {cp['found']})")
+    if has_worst:
+        worst = cp["worst"]
+        if not isinstance(worst, dict) or \
+                not isinstance(worst.get("seed"), int) or \
+                worst["seed"] < 0 or \
+                not isinstance(worst.get("span"), (int, float)):
+            return fail(path, f"{at}.worst malformed (want non-negative "
+                              "int seed, numeric span)")
+    return True
+
+
+def validate_timeseries(path, ts, where):
+    """Checks one cell's optional v6 timeseries object."""
+    at = f"{where}.timeseries"
+    if not isinstance(ts, dict):
+        return fail(path, f"{at} is not an object")
+    if not isinstance(ts.get("interval"), (int, float)) or \
+            ts["interval"] <= 0:
+        return fail(path, f"{at}.interval must be > 0")
+    if not isinstance(ts.get("trials"), int) or ts["trials"] < 1:
+        return fail(path, f"{at}.trials must be >= 1")
+    samples = ts.get("samples")
+    if not isinstance(samples, list):
+        return fail(path, f"{at}.samples must be a list")
+    last_t = 0.0
+    for j, sample in enumerate(samples):
+        if not isinstance(sample, dict):
+            return fail(path, f"{at}.samples[{j}] is not an object")
+        for key in ("t", "pending", "in_flight", "live"):
+            if not isinstance(sample.get(key), (int, float)):
+                return fail(path, f"{at}.samples[{j}] missing numeric "
+                                  f"'{key}'")
+        if sample["t"] <= last_t:
+            return fail(path, f"{at}.samples not ascending in t at [{j}]")
+        last_t = sample["t"]
+    return True
+
+
 def validate(path, doc):
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         return fail(path, f"schema is {schema!r}, want one of {SCHEMAS}")
     v3 = schema != "abe-scenario-sweep-v2"
-    v4 = schema in ("abe-scenario-sweep-v4", "abe-scenario-sweep-v5")
-    v5 = schema == "abe-scenario-sweep-v5"
+    v4 = schema in ("abe-scenario-sweep-v4", "abe-scenario-sweep-v5",
+                    "abe-scenario-sweep-v6")
+    v5 = schema in ("abe-scenario-sweep-v5", "abe-scenario-sweep-v6")
+    v6 = schema == "abe-scenario-sweep-v6"
     metadata = doc.get("metadata")
     if not isinstance(metadata, dict):
         return fail(path, "metadata is not an object")
@@ -172,6 +276,8 @@ def validate(path, doc):
         if v5:
             cell_fields["metrics"] = list
             cell_fields["wall"] = dict
+        if v6:
+            cell_fields["critical_path"] = dict
         if not check_fields(path, cell, cell_fields, where):
             return False
         if v5:
@@ -179,6 +285,13 @@ def validate(path, doc):
                 return False
             if not check_fields(path, cell["wall"], WALL_FIELDS,
                                 f"{where}.wall"):
+                return False
+        if v6:
+            if not validate_critical_path(path, cell["critical_path"],
+                                          where):
+                return False
+            if "timeseries" in cell and \
+                    not validate_timeseries(path, cell["timeseries"], where):
                 return False
         if v3 and cell["runtime"] not in RUNTIMES:
             return fail(path, f"{where}.runtime {cell['runtime']!r} not in "
@@ -219,10 +332,140 @@ def validate(path, doc):
     return True
 
 
+# ---------------------------------------------------------------------------
+# Self-test fixtures
+
+
+def _summary(count=1, value=1.0):
+    return {"count": count, "mean": value, "stddev": 0.0, "min": value,
+            "max": value, "ci95": 0.0}
+
+
+def _fixture_v6():
+    """A minimal document every v6 check accepts."""
+    cp = {"considered": 1, "found": 1, "truncated": 0,
+          "top_channels": [{"edge": 3, "hops": 1, "delay": 2.0},
+                           {"edge": 1, "hops": 1, "delay": 1.0}],
+          "worst": {"seed": 7, "span": 4.0}}
+    for key in CRITICAL_PATH_SUMMARIES:
+        cp[key] = _summary()
+    return {
+        "schema": "abe-scenario-sweep-v6",
+        "metadata": {"git_sha": "deadbeef", "compiler": "cc",
+                     "build_type": "Release", "equeue": "auto",
+                     "runtime": "sim", "trial_threads": 1, "trials": 1,
+                     "seed_base": 1},
+        "cells": [{
+            "cell": "abe-ring/ring-uni-4/exponential/ideal/none",
+            "scenario": "fixture", "algorithm": "abe-ring",
+            "topology": {"family": "ring-uni", "n": 4, "param": 0},
+            "delay": {"model": "exponential", "mean": 1.0},
+            "clock": {"s_low": 1, "s_high": 1, "drift": "ideal"},
+            "failure": "none", "behavior": "honest", "adversary": "none",
+            "equeue": "auto", "runtime": "sim",
+            "trials": 1, "failures": 0, "stalled": 0,
+            "safety_violations": 0, "violation_seeds": [],
+            "messages": _summary(), "time": _summary(),
+            "metrics": [{"name": "net.sent", "kind": "counter",
+                         "value": 8}],
+            "wall": {"build_ms": 0.1, "run_ms": 1.0, "settle_ms": 0.2},
+            "critical_path": cp,
+            "timeseries": {"interval": 5.0, "trials": 1,
+                           "samples": [{"t": 5.0, "pending": 4.0,
+                                        "in_flight": 1.0, "live": 4.0},
+                                       {"t": 10.0, "pending": 3.0,
+                                        "in_flight": 0.5, "live": 2.0}]},
+        }],
+    }
+
+
+def _downgrade(doc, schema):
+    """Derives an older-schema fixture by stripping the newer blocks."""
+    doc = json.loads(json.dumps(doc))
+    doc["schema"] = schema
+    for cell in doc["cells"]:
+        cell.pop("timeseries", None)
+        cell.pop("critical_path", None)
+        if schema in ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3",
+                      "abe-scenario-sweep-v4"):
+            cell.pop("metrics", None)
+            cell.pop("wall", None)
+        if schema in ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3"):
+            for key in ("behavior", "adversary", "stalled",
+                        "violation_seeds"):
+                cell.pop(key, None)
+        if schema == "abe-scenario-sweep-v2":
+            cell.pop("runtime", None)
+    if schema == "abe-scenario-sweep-v2":
+        doc["metadata"].pop("runtime", None)
+    return doc
+
+
+def self_test():
+    """Validates the built-in fixtures; returns 0 on success, 1 on failure."""
+    failures = 0
+
+    def expect(name, doc, want_ok):
+        nonlocal failures
+        got_ok = validate(f"self-test:{name}", doc)
+        if got_ok != want_ok:
+            print(f"self-test:{name}: want "
+                  f"{'accept' if want_ok else 'reject'}, got "
+                  f"{'accept' if got_ok else 'reject'}", file=sys.stderr)
+            failures += 1
+
+    # Every schema version must still validate.
+    good = _fixture_v6()
+    expect("v6", good, True)
+    for schema in SCHEMAS[:-1]:
+        expect(schema.rsplit("-", 1)[-1], _downgrade(good, schema), True)
+
+    # A v6 document without the causal block — and a v6 block that is
+    # malformed in each of the ways the emitter cannot produce — must be
+    # rejected.
+    def mutated(mutate):
+        doc = _fixture_v6()
+        mutate(doc["cells"][0])
+        return doc
+
+    expect("v6-missing-critical-path",
+           mutated(lambda c: c.pop("critical_path")), False)
+    expect("v6-counts-inverted",
+           mutated(lambda c: c["critical_path"].update(found=2)), False)
+    expect("v6-missing-summary",
+           mutated(lambda c: c["critical_path"].pop("queueing")), False)
+    expect("v6-summary-count-mismatch",
+           mutated(lambda c: c["critical_path"]["span"].update(count=9)),
+           False)
+    expect("v6-top-channels-unsorted",
+           mutated(lambda c: c["critical_path"]["top_channels"].reverse()),
+           False)
+    expect("v6-worst-without-found",
+           mutated(lambda c: c["critical_path"].update(
+               found=0, truncated=0,
+               **{k: _summary(count=0, value=0.0)
+                  for k in CRITICAL_PATH_SUMMARIES})), False)
+    expect("v6-worst-negative-seed",
+           mutated(lambda c: c["critical_path"]["worst"].update(seed=-1)),
+           False)
+    expect("v6-timeseries-bad-interval",
+           mutated(lambda c: c["timeseries"].update(interval=0)), False)
+    expect("v6-timeseries-unordered",
+           mutated(lambda c: c["timeseries"]["samples"].reverse()), False)
+
+    if failures:
+        print(f"self-test: {failures} fixture(s) misjudged", file=sys.stderr)
+        return 1
+    print("self-test: ok")
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
+    if argv[1] == "--self-test":
+        return self_test()
     ok = True
     for path in argv[1:]:
         try:

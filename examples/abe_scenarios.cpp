@@ -17,9 +17,22 @@
 //                                           # replay ONE simulator trial and
 //                                           # export the flight recorder as
 //                                           # Chrome trace JSON (load in
-//                                           # chrome://tracing / Perfetto)
-//                                           # or JSONL; no export flag
-//                                           # prints the text transcript
+//                                           # chrome://tracing / Perfetto;
+//                                           # causal links become flow
+//                                           # arrows) or JSONL; no export
+//                                           # flag prints the text transcript
+//   abe_scenarios critical-path [<sweep-or-scenario>] [flags]
+//                                           # run cells with causal history
+//                                           # on and print each cell's
+//                                           # critical-path profile
+//                                           # (obs/causal.h) — chain length,
+//                                           # delay/processing/queueing/
+//                                           # waiting attribution, heaviest
+//                                           # channels — plus the worst
+//                                           # trial's full hop-by-hop chain;
+//                                           # --timeseries I additionally
+//                                           # samples queue gauges every I
+//                                           # sim-time units into the JSON
 //
 // Common flags:
 //   --trials N    trials per cell (default: the spec's default_trials)
@@ -101,9 +114,12 @@ int usage(const char* program) {
                "[--seed N] [--threads N] [--equeue B] [--runtime R] "
                "[--json PATH]\n"
                "       %s trace <scenario> --seed N [--chrome PATH] "
-               "[--jsonl PATH] [run overrides]\n",
+               "[--jsonl PATH] [run overrides]\n"
+               "       %s critical-path [<sweep-or-scenario>] [--trials N] "
+               "[--seed N] [--threads N] [--equeue B] [--timeseries I] "
+               "[--json PATH]\n",
                program, program, program, program, program, program,
-               program);
+               program, program);
   return 2;
 }
 
@@ -170,6 +186,67 @@ bool emit_json(const std::string& path, const abe::SweepRunMetadata& meta,
   return static_cast<bool>(out);
 }
 
+// Aligned per-cell critical-path profile (the `critical-path` command):
+// how many decided trials produced a chain, how many chains truncated at
+// the flight ring, and the mean attribution of the chain's extent to the
+// four components of obs/causal.h.
+std::string render_critical_path_report(
+    const std::vector<abe::SweepCellOutcome>& outcomes) {
+  abe::Table table({"cell", "paths", "trunc", "hops", "span", "delay",
+                    "proc", "queue", "wait", "worst-seed"});
+  for (const abe::SweepCellOutcome& outcome : outcomes) {
+    const abe::CriticalPathAggregate& cp = outcome.aggregate.critical_path;
+    table.add_row(
+        {outcome.spec.cell_id(),
+         std::to_string(cp.found) + "/" + std::to_string(cp.considered),
+         abe::Table::fmt_int(static_cast<std::int64_t>(cp.truncated)),
+         abe::Table::fmt(cp.hops.mean(), 1),
+         abe::Table::fmt(cp.span.mean(), 2),
+         abe::Table::fmt(cp.channel_delay.mean(), 2),
+         abe::Table::fmt(cp.processing.mean(), 2),
+         abe::Table::fmt(cp.queueing.mean(), 2),
+         abe::Table::fmt(cp.waiting.mean(), 2),
+         cp.has_worst ? std::to_string(cp.worst_seed) : "-"});
+  }
+  return table.render("critical paths");
+}
+
+// Replays the single worst trial across all cells (largest critical-path
+// span; replay is simulator-only, so thread cells are skipped) with full
+// tracing and prints its hop-by-hop causal chain.
+void dump_worst_chain(const std::vector<abe::SweepCellOutcome>& outcomes,
+                      std::FILE* out) {
+  const abe::SweepCellOutcome* worst = nullptr;
+  for (const abe::SweepCellOutcome& outcome : outcomes) {
+    if (outcome.spec.runtime != abe::RuntimeKind::kSim) continue;
+    const abe::CriticalPathAggregate& cp = outcome.aggregate.critical_path;
+    if (!cp.has_worst) continue;
+    if (worst == nullptr ||
+        cp.worst_span > worst->aggregate.critical_path.worst_span) {
+      worst = &outcome;
+    }
+  }
+  if (worst == nullptr) return;
+  const abe::CriticalPathAggregate& cp = worst->aggregate.critical_path;
+
+  abe::ScenarioSpec spec = worst->spec;
+  spec.causal_history = true;
+  abe::Trace recorder;
+  const abe::TrialOutcome outcome =
+      abe::replay_scenario_trial(spec, cp.worst_seed, &recorder);
+  std::fprintf(out, "\nworst trial: %s seed %llu (span %.6g)\n",
+               spec.cell_id().c_str(),
+               static_cast<unsigned long long>(cp.worst_seed),
+               cp.worst_span);
+  if (!outcome.completed || outcome.decision_node < 0) {
+    std::fprintf(out, "(replay did not reach a decision)\n");
+    return;
+  }
+  const abe::CriticalPath path = abe::extract_critical_path(
+      recorder.events(), abe::NodeId{outcome.decision_node}, outcome.time);
+  std::fprintf(out, "%s", path.render().c_str());
+}
+
 // Shared tail of `run` and `sweep`: execute cells, print the table, emit
 // JSON, and fail the process when any cell violated safety.
 // `runtime_overridable` is false for sweeps whose matrix declares its own
@@ -177,10 +254,13 @@ bool emit_json(const std::string& path, const abe::SweepRunMetadata& meta,
 // --runtime would rewrite the sim-pinned half into duplicates of the
 // thread-pinned half (cell ids must stay unique).
 // `metrics_report` additionally prints each cell's merged metrics snapshot
-// and wall-phase times (the `report` command).
+// and wall-phase times (the `report` command); `critical_path_report`
+// prints the per-cell critical-path profile and the worst trial's chain
+// (the `critical-path` command).
 int run_cells(std::vector<abe::ScenarioSpec> cells,
               const abe::CliFlags& flags, bool runtime_overridable = true,
-              bool metrics_report = false) {
+              bool metrics_report = false,
+              bool critical_path_report = false) {
   const std::int64_t trials_flag = flags.get_int("trials", 0);
   const std::int64_t seed_flag = flags.get_int("seed", 1);
   const std::int64_t threads_flag = flags.get_int("threads", 0);
@@ -277,6 +357,11 @@ int run_cells(std::vector<abe::ScenarioSpec> cells,
   if (metrics_report) {
     std::fprintf(json_path == "-" ? stderr : stdout, "%s\n",
                  abe::render_metrics_report(outcomes).c_str());
+  }
+  if (critical_path_report) {
+    std::FILE* out = json_path == "-" ? stderr : stdout;
+    std::fprintf(out, "%s\n", render_critical_path_report(outcomes).c_str());
+    dump_worst_chain(outcomes, out);
   }
   if (!json_path.empty() &&
       !emit_json(json_path,
@@ -509,6 +594,43 @@ int cmd_report(const std::string& name, const abe::CliFlags& flags) {
                    /*metrics_report=*/true);
 }
 
+// Runs a sweep (or a single scenario's cell) with causal history switched
+// on — an observation-only knob: cell ids and seeded aggregates are
+// unchanged — and prints the per-cell critical-path profile plus the worst
+// trial's chain. `--timeseries I` additionally samples the queue gauges
+// every I sim-time units (simulator cells; surfaces in the JSON).
+int cmd_critical_path(const std::string& name, const abe::CliFlags& flags) {
+  double interval = 0.0;
+  if (flags.has("timeseries")) {
+    interval = flags.get_double("timeseries", 0.0);
+    if (interval <= 0.0) {
+      std::fprintf(stderr, "--timeseries must be > 0 (sim-time units)\n");
+      return 2;
+    }
+  }
+  std::vector<abe::ScenarioSpec> cells;
+  bool runtime_overridable = true;
+  if (const abe::ScenarioMatrix* matrix = abe::find_sweep(name)) {
+    cells = matrix->expand();
+    runtime_overridable = matrix->runtimes.empty();
+  } else if (const abe::ScenarioSpec* registered = abe::find_scenario(name)) {
+    abe::ScenarioSpec spec = *registered;
+    const int rc = apply_cell_overrides(spec, name, flags);
+    if (rc != 0) return rc;
+    cells.push_back(std::move(spec));
+  } else {
+    std::fprintf(stderr, "unknown sweep or scenario '%s' (try `list`)\n",
+                 name.c_str());
+    return 2;
+  }
+  for (abe::ScenarioSpec& cell : cells) {
+    cell.causal_history = true;
+    cell.timeseries_interval = interval;
+  }
+  return run_cells(std::move(cells), flags, runtime_overridable,
+                   /*metrics_report=*/false, /*critical_path_report=*/true);
+}
+
 // Writes `events` to `path` ("-" = stdout) in the selected export format.
 bool export_events(const std::string& path, bool chrome,
                    const std::vector<abe::TraceEvent>& events) {
@@ -574,7 +696,7 @@ int main(int argc, char** argv) {
   for (const char* known :
        {"trials", "seed", "threads", "json", "n", "delay", "mean",
         "equeue", "runtime", "failure", "behavior", "adversary", "chrome",
-        "jsonl"}) {
+        "jsonl", "timeseries"}) {
     flags.has(known);
   }
   const auto unknown = flags.unknown_flags();
@@ -611,6 +733,10 @@ int main(int argc, char** argv) {
   if (command == "trace") {
     if (args.size() < 2) return usage(argv[0]);
     return cmd_trace(args[1], flags);
+  }
+  if (command == "critical-path") {
+    return cmd_critical_path(args.size() >= 2 ? args[1] : "robustness",
+                             flags);
   }
   return usage(argv[0]);
 }

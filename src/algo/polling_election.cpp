@@ -283,6 +283,9 @@ class PollingDriver final : public AlgorithmDriver {
     out.safety_detail = sink_->safety_detail;
     out.time = sink_->election_time;
     out.messages = sink_->messages;
+    // Critical-path anchor (obs/causal.h): the winner's becoming-leader
+    // handler at election_time terminates the causal chain.
+    out.decision_node = static_cast<std::int64_t>(sink_->leader_index);
     return out;
   }
 

@@ -191,6 +191,10 @@ class RingElectionDriver final : public AlgorithmDriver {
     out.safety_detail = sink_->safety_detail;
     out.time = sink_->election_time;
     out.messages = sink_->messages;
+    // The leader's becoming-leader event terminates the trial's causal
+    // chain (obs/causal.h): the trial loop extracts the critical path
+    // ending at this node at election_time.
+    out.decision_node = static_cast<std::int64_t>(sink_->leader_index);
     return out;
   }
 

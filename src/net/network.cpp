@@ -75,7 +75,8 @@ class Network::ContextImpl final : public Context {
   Rng& rng() override { return net_->slots_[index_].rng; }
 
   void log(const std::string& detail) override {
-    net_->trace_.record(net_->now(), TraceKind::kCustom, self(), detail);
+    net_->trace_.record(net_->now(), TraceKind::kCustom, self(), detail,
+                        /*arg=*/-1, net_->current_cause_);
   }
 
  private:
@@ -97,6 +98,15 @@ Network::Network(NetworkConfig config)
   ABE_CHECK_LT(config_.loss_probability, 1.0)
       << "loss probability 1 would never deliver";
   ABE_CHECK_GT(config_.tick_local_period, 0.0);
+  ABE_CHECK_GE(config_.timeseries_interval, 0.0);
+  if (config_.causal_history) {
+    // Capacity and full mode are independent knobs: this keeps records lite
+    // (numeric, allocation-free) but retains enough of them for causal
+    // chains to reach their roots.
+    trace_.set_capacity(Trace::kFullCapacity);
+  }
+  timeseries_.interval = config_.timeseries_interval;
+  next_sample_ = config_.timeseries_interval;
 
   const std::size_t n = config_.topology.n;
   out_channels_ = out_adjacency(config_.topology);
@@ -184,6 +194,7 @@ void Network::start() {
   started_ = true;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     scheduler_.schedule_at(0.0, [this, i] {
+      current_cause_ = -1;  // on_start is a causal root: no trace record
       slots_[i].node->on_start(*slots_[i].context);
     });
     if (config_.enable_ticks) {
@@ -199,13 +210,16 @@ void Network::schedule_next_tick(std::size_t node_index) {
       slot.tick_phase +
       static_cast<double>(slot.ticks + 1) * config_.tick_local_period;
   const SimTime fire = slot.clock->real_at(next_local);
-  scheduler_.schedule_at(fire, [this, node_index] {
+  // The causing event: the tick (or start()) that scheduled this fire.
+  const std::int64_t cause = current_cause_;
+  scheduler_.schedule_at(fire, [this, node_index, cause] {
     NodeSlot& s = slots_[node_index];
     ++s.ticks;
     ++metrics_.ticks_fired;
-    trace_.record(now(), TraceKind::kTick,
-                  NodeId{static_cast<std::int64_t>(node_index)},
-                  static_cast<std::int64_t>(s.ticks));
+    current_cause_ = trace_.record(now(), TraceKind::kTick,
+                                   NodeId{static_cast<std::int64_t>(node_index)},
+                                   static_cast<std::int64_t>(s.ticks),
+                                   cause);
     s.node->on_tick(*s.context, s.ticks);
     if (s.node->is_terminated()) {
       s.ticking = false;  // terminal nodes stop consuming tick events
@@ -224,13 +238,16 @@ TimerId Network::set_timer(std::size_t node_index, double local_delay,
   // A timer handle IS its scheduler event handle: generation-counted ids
   // make cancel-after-fire safe without any timer bookkeeping of our own.
   const TimerId timer_id{scheduler_.peek_next_id().value()};
+  // The causing event: the handler that armed the timer.
+  const std::int64_t cause = current_cause_;
   scheduler_.schedule_at(
-      std::max(fire, now()), [this, node_index, tag, timer_id] {
+      std::max(fire, now()), [this, node_index, tag, timer_id, cause] {
         NodeSlot& s = slots_[node_index];
         ++metrics_.timers_fired;
-        trace_.record(now(), TraceKind::kTimer,
-                      NodeId{static_cast<std::int64_t>(node_index)},
-                      static_cast<std::int64_t>(tag));
+        current_cause_ =
+            trace_.record(now(), TraceKind::kTimer,
+                          NodeId{static_cast<std::int64_t>(node_index)},
+                          static_cast<std::int64_t>(tag), cause);
         s.node->on_timer(*s.context, timer_id, tag);
       });
   return timer_id;
@@ -252,17 +269,21 @@ void Network::send_from(std::size_t node_index, std::size_t out_index,
   ++metrics_.sent_by_node[node_index];
   ++metrics_.sent_by_channel[edge_index];
   // Flight recorder: the lite record (numeric edge arg) is always on; the
-  // payload string is formatted only in full trace mode.
+  // payload string is formatted only in full trace mode. The send's cause is
+  // the handler that issued it.
+  std::int64_t send_id;
   if (trace_.enabled()) {
-    trace_.record(now(), TraceKind::kSend,
-                  NodeId{static_cast<std::int64_t>(node_index)},
-                  "edge=" + std::to_string(edge_index) + " " +
-                      payload->describe(),
-                  static_cast<std::int64_t>(edge_index));
+    send_id = trace_.record(now(), TraceKind::kSend,
+                            NodeId{static_cast<std::int64_t>(node_index)},
+                            "edge=" + std::to_string(edge_index) + " " +
+                                payload->describe(),
+                            static_cast<std::int64_t>(edge_index),
+                            current_cause_);
   } else {
-    trace_.record(now(), TraceKind::kSend,
-                  NodeId{static_cast<std::int64_t>(node_index)},
-                  static_cast<std::int64_t>(edge_index));
+    send_id = trace_.record(now(), TraceKind::kSend,
+                            NodeId{static_cast<std::int64_t>(node_index)},
+                            static_cast<std::int64_t>(edge_index),
+                            current_cause_);
   }
 
   std::shared_ptr<const Payload> shared{payload.release()};
@@ -278,12 +299,12 @@ void Network::send_from(std::size_t node_index, std::size_t out_index,
                         config_.topology.edges[edge_index].to)},
                     "edge=" + std::to_string(edge_index) + " " +
                         shared->describe(),
-                    static_cast<std::int64_t>(edge_index));
+                    static_cast<std::int64_t>(edge_index), send_id);
     } else {
       trace_.record(now(), TraceKind::kDrop,
                     NodeId{static_cast<std::int64_t>(
                         config_.topology.edges[edge_index].to)},
-                    static_cast<std::int64_t>(edge_index));
+                    static_cast<std::int64_t>(edge_index), send_id);
     }
     return;
   }
@@ -300,19 +321,22 @@ void Network::send_from(std::size_t node_index, std::size_t out_index,
     ch.last_arrival = arrival;
   }
   const SimTime sent_at = now();
-  scheduler_.schedule_at(arrival, [this, edge_index, shared, sent_at] {
-    deliver(edge_index, shared, sent_at);
+  // Captures total 48 bytes: the InlineAction budget of the hot path.
+  scheduler_.schedule_at(arrival, [this, edge_index, shared, sent_at,
+                                   send_id] {
+    deliver(edge_index, shared, sent_at, send_id);
   });
 }
 
 void Network::deliver(std::size_t edge_index,
-                      std::shared_ptr<const Payload> payload,
-                      SimTime sent_at) {
+                      std::shared_ptr<const Payload> payload, SimTime sent_at,
+                      std::int64_t send_id) {
   const std::size_t to = config_.topology.edges[edge_index].to;
   NodeSlot& slot = slots_[to];
 
   const double channel_delay = now() - sent_at;
-  auto finish_delivery = [this, edge_index, payload, channel_delay, to]() {
+  auto finish_delivery = [this, edge_index, payload, channel_delay, to,
+                          send_id](double work) {
     NodeSlot& s = slots_[to];
     ++metrics_.messages_delivered;
     metrics_.total_channel_delay += channel_delay;
@@ -322,22 +346,26 @@ void Network::deliver(std::size_t edge_index,
       delay_hist_->record(channel_delay);
       ++delivered_by_channel_[edge_index];
     }
+    // The deliver's cause is its send; the delay/work fields attribute the
+    // send->deliver gap for the critical-path profiler (obs/causal.h).
     if (trace_.enabled()) {
-      trace_.record(now(), TraceKind::kDeliver,
-                    NodeId{static_cast<std::int64_t>(to)},
-                    "edge=" + std::to_string(edge_index) + " " +
-                        payload->describe(),
-                    static_cast<std::int64_t>(edge_index));
+      current_cause_ = trace_.record(now(), TraceKind::kDeliver,
+                                     NodeId{static_cast<std::int64_t>(to)},
+                                     "edge=" + std::to_string(edge_index) +
+                                         " " + payload->describe(),
+                                     static_cast<std::int64_t>(edge_index),
+                                     send_id, channel_delay, work);
     } else {
-      trace_.record(now(), TraceKind::kDeliver,
-                    NodeId{static_cast<std::int64_t>(to)},
-                    static_cast<std::int64_t>(edge_index));
+      current_cause_ = trace_.record(now(), TraceKind::kDeliver,
+                                     NodeId{static_cast<std::int64_t>(to)},
+                                     static_cast<std::int64_t>(edge_index),
+                                     send_id, channel_delay, work);
     }
     s.node->on_message(*s.context, in_index_of_edge_[edge_index], *payload);
   };
 
   if (config_.processing.kind == ProcessingModel::Kind::kZero) {
-    finish_delivery();
+    finish_delivery(0.0);
     return;
   }
   // Definition 1(3): handling occupies the node; queue behind earlier work.
@@ -346,9 +374,32 @@ void Network::deliver(std::size_t edge_index,
   const SimTime finish = start + ptime;
   slot.busy_until = finish;
   if (finish <= now()) {
-    finish_delivery();
+    finish_delivery(ptime);
   } else {
-    scheduler_.schedule_at(finish, finish_delivery);
+    scheduler_.schedule_at(finish, [finish_delivery, ptime] {
+      finish_delivery(ptime);
+    });
+  }
+}
+
+void Network::sample_timeseries() {
+  // Sim-time-driven sampling: after each processed event, emit one sample
+  // per grid point the clock has crossed, labelled with the grid time. Pure
+  // observation — no events scheduled, no randomness consumed — so enabling
+  // it cannot change any aggregate.
+  while (next_sample_ <= now() &&
+         timeseries_.samples.size() < TimeSeries::kMaxSamples) {
+    TimeSeriesSample sample;
+    sample.t = next_sample_;
+    sample.pending = static_cast<double>(scheduler_.pending());
+    sample.in_flight = static_cast<double>(metrics_.in_flight());
+    std::uint64_t live = 0;
+    for (const NodeSlot& slot : slots_) {
+      if (slot.node != nullptr && !slot.node->is_terminated()) ++live;
+    }
+    sample.live = static_cast<double>(live);
+    timeseries_.samples.push_back(sample);
+    next_sample_ += timeseries_.interval;
   }
 }
 
@@ -359,6 +410,7 @@ bool Network::run_until(const std::function<bool()>& pred, SimTime deadline) {
     const SimTime next = scheduler_.next_event_time();
     if (next == kTimeInfinity || next > deadline) return false;
     scheduler_.run_steps(1);
+    if (timeseries_.interval > 0.0) sample_timeseries();
   }
   return true;
 }

@@ -22,6 +22,7 @@
 #include "net/node.h"
 #include "net/topology.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "sim/equeue/backend.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
@@ -103,6 +104,14 @@ struct NetworkConfig {
   // metrics_snapshot(). Off by default; recording consumes no randomness
   // and reorders nothing, so enabling it cannot change any aggregate.
   bool metrics = false;
+  // Causal-history mode: widen the flight-recorder ring to full capacity
+  // WITHOUT enabling detail strings, so cause chains (obs/causal.h) reach
+  // back to their roots while records stay allocation-free. Like `metrics`,
+  // this draws no randomness and reorders nothing.
+  bool causal_history = false;
+  // Time-series telemetry (obs/timeseries.h): sample load gauges every this
+  // many units of SIM time during run_until(). 0 disables (the default).
+  double timeseries_interval = 0.0;
 };
 
 struct NetworkMetrics {
@@ -170,6 +179,8 @@ class Network {
   LocalClock& clock(std::size_t i);
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
+  // Sampled load gauges (config.timeseries_interval > 0; empty otherwise).
+  const TimeSeries& timeseries() const { return timeseries_; }
 
   // Extended observability, populated when config.metrics is on: delivered
   // and dropped counts per channel (edge index into topology().edges; empty
@@ -212,8 +223,9 @@ class Network {
   void send_from(std::size_t node_index, std::size_t out_index,
                  PayloadPtr payload);
   void deliver(std::size_t edge_index, std::shared_ptr<const Payload> payload,
-               SimTime sent_at);
+               SimTime sent_at, std::int64_t send_id);
   void schedule_next_tick(std::size_t node_index);
+  void sample_timeseries();
   TimerId set_timer(std::size_t node_index, double local_delay,
                     std::uint64_t tag);
   bool cancel_timer_impl(TimerId id);
@@ -236,6 +248,13 @@ class Network {
   std::vector<std::vector<std::size_t>> out_channels_;  // node -> edge indices
   std::vector<std::vector<std::size_t>> in_channels_;
   std::vector<std::size_t> in_index_of_edge_;  // edge -> receiver's in-index
+  // Causality: the trace id of the event whose handler is currently running
+  // (-1 between handlers / inside on_start). Every record made from inside a
+  // handler — sends, drops, scheduled timer/tick fires — links back to it.
+  std::int64_t current_cause_ = -1;
+  // Time-series sampling state: next sim-time grid point to sample.
+  TimeSeries timeseries_;
+  SimTime next_sample_ = 0.0;
   bool started_ = false;
 };
 

@@ -1,0 +1,243 @@
+#include "obs/causal.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace abe {
+
+namespace {
+
+bool is_handler_kind(TraceKind kind) {
+  return kind == TraceKind::kDeliver || kind == TraceKind::kTimer ||
+         kind == TraceKind::kTick;
+}
+
+}  // namespace
+
+std::vector<EdgeShare> CriticalPath::edge_shares() const {
+  std::map<std::int64_t, EdgeShare> by_edge;
+  for (const CriticalPathHop& hop : chain) {
+    if (hop.kind != TraceKind::kDeliver || hop.arg < 0) continue;
+    EdgeShare& share = by_edge[hop.arg];
+    share.edge = hop.arg;
+    share.hops += 1;
+    share.delay += hop.delay;
+  }
+  std::vector<EdgeShare> out;
+  out.reserve(by_edge.size());
+  for (const auto& entry : by_edge) out.push_back(entry.second);
+  return out;
+}
+
+std::string CriticalPath::render() const {
+  std::ostringstream os;
+  os.precision(6);
+  if (!found) {
+    os << "no critical path (decision event not retained)\n";
+    return os.str();
+  }
+  os << "critical path: " << hops << " hop(s), span " << span
+     << (truncated ? " (TRUNCATED: chain left the flight ring)" : "") << "\n"
+     << "  attribution: waiting " << waiting << " + channel " << channel_delay
+     << " + processing " << processing << " + queueing " << queueing << "\n";
+  for (const CriticalPathHop& hop : chain) {
+    os << "  #" << hop.id << " t=" << hop.time << " "
+       << trace_kind_name(hop.kind) << " node=" << hop.node;
+    if (hop.arg >= 0) os << " arg=" << hop.arg;
+    if (hop.kind == TraceKind::kDeliver) {
+      os << " gap=" << hop.gap << " (delay " << hop.delay << ", work "
+         << hop.work << ", queue " << hop.queue << ")";
+    } else if (hop.gap > 0.0 || hop.wait > 0.0) {
+      os << " wait=" << hop.wait;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+CriticalPath extract_critical_path(const std::vector<TraceEvent>& events,
+                                   NodeId decision_node,
+                                   SimTime decision_time) {
+  CriticalPath path;
+  if (events.empty()) return path;
+  // Ids are dense since clear(), so the retained window maps to indices by
+  // subtracting the oldest retained id.
+  const std::int64_t first_id = events.front().id;
+
+  // The decision event: last DELIVER/TIMER record at the decision node at
+  // or before the decision instant — decisions fire inside message or timer
+  // handlers. Periodic TICK activations only anchor when no such handler
+  // exists (a node that decided on pure self-activation): on the thread
+  // runtime a background tick already in the mailbox can pop between the
+  // deciding DELIVER and the wall-clock decision_time read, and preferring
+  // it would yield a hop-free tick chain. Settle-phase traffic recorded
+  // after the decision sits later in the ring and is skipped by the time
+  // filter either way.
+  std::size_t decision_index = events.size();
+  std::size_t tick_index = events.size();
+  for (std::size_t i = events.size(); i-- > 0;) {
+    const TraceEvent& e = events[i];
+    if (e.node != decision_node || !is_handler_kind(e.kind) ||
+        e.time > decision_time) {
+      continue;
+    }
+    if (e.kind == TraceKind::kTick) {
+      if (tick_index == events.size()) tick_index = i;
+      continue;
+    }
+    decision_index = i;
+    break;
+  }
+  if (decision_index == events.size()) decision_index = tick_index;
+  if (decision_index == events.size()) return path;
+
+  // Walk cause links back to a root (cause == -1) or out of the ring.
+  std::vector<CriticalPathHop> reversed;
+  std::size_t index = decision_index;
+  for (;;) {
+    const TraceEvent& e = events[index];
+    CriticalPathHop hop;
+    hop.id = e.id;
+    hop.kind = e.kind;
+    hop.node = e.node;
+    hop.arg = e.arg;
+    hop.time = e.time;
+    hop.delay = e.delay;
+    hop.work = e.work;
+    reversed.push_back(hop);
+    if (e.cause < 0) break;  // a true root
+    if (e.cause < first_id || e.cause >= e.id) {
+      path.truncated = true;  // evicted parent (or malformed link)
+      break;
+    }
+    index = static_cast<std::size_t>(e.cause - first_id);
+  }
+
+  path.found = true;
+  path.chain.assign(reversed.rbegin(), reversed.rend());
+
+  // Attribute each gap. The chain telescopes, so summing the four components
+  // reproduces the decision time exactly when the root was reached (the
+  // root's own lead-in from t = 0 counts as waiting).
+  for (std::size_t i = 0; i < path.chain.size(); ++i) {
+    CriticalPathHop& hop = path.chain[i];
+    double gap;
+    if (i == 0) {
+      gap = path.truncated ? 0.0 : hop.time;
+    } else {
+      gap = hop.time - path.chain[i - 1].time;
+      // Real-thread timestamps can jitter by clock granularity; the
+      // simulator never produces a negative gap.
+      if (gap < 0.0) gap = 0.0;
+    }
+    hop.gap = gap;
+    if (i > 0 && hop.kind == TraceKind::kDeliver) {
+      hop.delay = std::min(hop.delay, gap);
+      hop.work = std::min(hop.work, gap - hop.delay);
+      hop.queue = gap - hop.delay - hop.work;
+      hop.wait = 0.0;
+      path.hops += 1;
+      path.channel_delay += hop.delay;
+      path.processing += hop.work;
+      path.queueing += hop.queue;
+    } else {
+      hop.delay = 0.0;
+      hop.work = 0.0;
+      hop.queue = 0.0;
+      hop.wait = gap;
+      path.waiting += gap;
+    }
+  }
+  const CriticalPathHop& last = path.chain.back();
+  path.span = path.truncated ? last.time - path.chain.front().time : last.time;
+  return path;
+}
+
+CriticalPath extract_critical_path(const Trace& trace, NodeId decision_node,
+                                   SimTime decision_time) {
+  return extract_critical_path(trace.events(), decision_node, decision_time);
+}
+
+CriticalPathStats CriticalPathStats::from_path(const CriticalPath& path) {
+  CriticalPathStats stats;
+  stats.found = path.found;
+  stats.truncated = path.truncated;
+  stats.hops = path.hops;
+  stats.span = path.span;
+  stats.channel_delay = path.channel_delay;
+  stats.processing = path.processing;
+  stats.queueing = path.queueing;
+  stats.waiting = path.waiting;
+  stats.edges = path.edge_shares();
+  return stats;
+}
+
+void CriticalPathAggregate::add(const CriticalPathStats& stats,
+                                std::uint64_t seed) {
+  ++considered;
+  if (!stats.found) return;
+  ++found;
+  if (stats.truncated) ++truncated;
+  hops.add(static_cast<double>(stats.hops));
+  span.add(stats.span);
+  channel_delay.add(stats.channel_delay);
+  processing.add(stats.processing);
+  queueing.add(stats.queueing);
+  waiting.add(stats.waiting);
+  for (const EdgeShare& share : stats.edges) {
+    EdgeShare& slot = channels[share.edge];
+    slot.edge = share.edge;
+    slot.hops += share.hops;
+    slot.delay += share.delay;
+  }
+  if (!has_worst || stats.span > worst_span ||
+      (stats.span == worst_span && seed < worst_seed)) {
+    has_worst = true;
+    worst_span = stats.span;
+    worst_seed = seed;
+  }
+}
+
+void CriticalPathAggregate::merge(const CriticalPathAggregate& other) {
+  considered += other.considered;
+  found += other.found;
+  truncated += other.truncated;
+  hops.merge(other.hops);
+  span.merge(other.span);
+  channel_delay.merge(other.channel_delay);
+  processing.merge(other.processing);
+  queueing.merge(other.queueing);
+  waiting.merge(other.waiting);
+  for (const auto& entry : other.channels) {
+    EdgeShare& slot = channels[entry.first];
+    slot.edge = entry.second.edge;
+    slot.hops += entry.second.hops;
+    slot.delay += entry.second.delay;
+  }
+  if (other.has_worst &&
+      (!has_worst || other.worst_span > worst_span ||
+       (other.worst_span == worst_span && other.worst_seed < worst_seed))) {
+    has_worst = true;
+    worst_span = other.worst_span;
+    worst_seed = other.worst_seed;
+  }
+}
+
+std::vector<EdgeShare> CriticalPathAggregate::top_channels(
+    std::size_t k) const {
+  std::vector<EdgeShare> out;
+  out.reserve(channels.size());
+  for (const auto& entry : channels) out.push_back(entry.second);
+  std::sort(out.begin(), out.end(), [](const EdgeShare& a, const EdgeShare& b) {
+    if (a.delay != b.delay) return a.delay > b.delay;
+    return a.edge < b.edge;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace abe

@@ -1,0 +1,68 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace abe {
+
+namespace {
+
+// Same number style as the rest of the sweep JSON (metrics.cpp,
+// Summary::to_json): integers bare, everything else round-trip precision.
+std::string json_number(double v) {
+  const double r = std::nearbyint(v);
+  if (r == v && std::fabs(v) < 9.007199254740992e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(r);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+}  // namespace
+
+void TimeSeries::merge(const TimeSeries& other) {
+  if (other.trials == 0 && other.samples.empty()) return;
+  if (trials == 0 && samples.empty()) {
+    *this = other;
+    return;
+  }
+  ABE_CHECK_EQ(interval, other.interval)
+      << "time-series merge across different grids";
+  trials += other.trials;
+  const std::size_t shared = std::min(samples.size(), other.samples.size());
+  for (std::size_t i = 0; i < shared; ++i) {
+    samples[i].pending += other.samples[i].pending;
+    samples[i].in_flight += other.samples[i].in_flight;
+    samples[i].live += other.samples[i].live;
+  }
+  for (std::size_t i = shared; i < other.samples.size(); ++i) {
+    samples.push_back(other.samples[i]);
+  }
+}
+
+void TimeSeries::append_json(std::string* out) const {
+  ABE_CHECK(out != nullptr);
+  const double denom = trials == 0 ? 1.0 : static_cast<double>(trials);
+  *out += "\"timeseries\": {\"interval\": " + json_number(interval) +
+          ", \"trials\": " + json_number(static_cast<double>(trials)) +
+          ", \"samples\": [";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) *out += ", ";
+    const TimeSeriesSample& s = samples[i];
+    *out += "{\"t\": " + json_number(s.t) +
+            ", \"pending\": " + json_number(s.pending / denom) +
+            ", \"in_flight\": " + json_number(s.in_flight / denom) +
+            ", \"live\": " + json_number(s.live / denom) + "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace abe

@@ -1,0 +1,53 @@
+// Per-trial time-series telemetry: periodic gauge snapshots over sim time.
+//
+// The simulator samples a small set of load gauges (pending events,
+// in-flight messages, live candidates) every `interval` units of SIM time —
+// never wall time and never per-event, so sampling consumes no randomness,
+// schedules nothing, and cannot perturb any aggregate (the same contract as
+// obs/metrics.h). Samples from many trials of one sweep cell merge
+// element-wise on the shared grid; the stored values are SUMS across the
+// contributing trials and consumers divide by `trials` for means.
+//
+// The thread runtime does not sample: its gauges would be wall-clock
+// artefacts of the host machine, not properties of the model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace abe {
+
+struct TimeSeriesSample {
+  SimTime t = 0.0;       // grid label k * interval (sim time)
+  double pending = 0.0;  // scheduler pending events
+  double in_flight = 0.0;  // sent - delivered - dropped
+  double live = 0.0;       // nodes not yet terminated (candidates)
+};
+
+struct TimeSeries {
+  // Grid cap: bounds per-trial memory and sweep JSON size no matter how
+  // long a trial runs; past it, sampling simply stops.
+  static constexpr std::size_t kMaxSamples = 512;
+
+  double interval = 0.0;  // sim-time grid step; 0 = disabled
+  std::uint64_t trials = 0;
+  std::vector<TimeSeriesSample> samples;  // sums across `trials` trials
+
+  bool enabled() const { return interval > 0.0; }
+
+  // Element-wise sum on the shared grid (trials with different lifetimes
+  // contribute prefixes of different lengths; the union is kept). Applied in
+  // the trial pool's fixed-chunk seed order, so results are independent of
+  // thread count like every other aggregate.
+  void merge(const TimeSeries& other);
+
+  // Appends `"timeseries": {...}` (no trailing comma) to `out`: grid
+  // metadata plus per-sample MEANS at round-trip float precision.
+  void append_json(std::string* out) const;
+};
+
+}  // namespace abe

@@ -24,9 +24,17 @@ struct MailItem {
   Kind kind = Kind::kMessage;
   Clock::time_point due{};
   std::uint64_t sequence = 0;  // tie-break for deterministic ordering
+  // Causality (obs/causal.h): trace id of the event behind this item — the
+  // SEND record for kMessage, the scheduling handler for kTimer — stamped
+  // onto the DELIVER/TIMER/TICK record when the item is popped.
+  std::int64_t cause = -1;
   // kMessage:
   std::size_t in_index = 0;
+  std::size_t edge = 0;  // global channel id — the DELIVER record's arg,
+                         // matching the simulator so edge attribution agrees
   std::shared_ptr<const Payload> payload;
+  double delay_sim = 0.0;  // sampled channel delay (sim units), for
+                           // critical-path attribution
   // kTimer:
   std::int64_t timer_id = 0;
   std::uint64_t tag = 0;

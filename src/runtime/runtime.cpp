@@ -47,6 +47,8 @@ NetworkConfig SimRuntime::to_network_config(RuntimeConfig config) {
   net.seed = config.seed;
   net.equeue = config.equeue;
   net.metrics = config.metrics;
+  net.causal_history = config.causal_history;
+  net.timeseries_interval = config.timeseries_interval;
   return net;
 }
 
@@ -118,6 +120,7 @@ ThreadNetConfig ThreadRuntime::to_thread_config(const RuntimeConfig& config) {
   net.seed = config.seed;
   net.trace = config.trace;
   net.metrics = config.metrics;
+  net.causal_history = config.causal_history;
   return net;
 }
 
@@ -244,6 +247,12 @@ TrialOutcome run_algorithm_trial(RuntimeKind kind, RuntimeConfig config,
       rt->run_until_done([&] { return driver.done(*rt); }, deadline);
   const auto wall_ran = WallClock::now();
   if (completed) driver.on_complete(*rt);
+  // The decision's causal history must be snapshotted BEFORE the settle
+  // phase: settle traffic keeps recording and would evict the decision
+  // neighborhood from the lite flight ring. The decision NODE is only known
+  // after extract(), so hold the whole (bounded) ring.
+  Trace decided_trace;
+  if (completed) decided_trace = rt->trace_snapshot();
   driver.settle(*rt, completed);
   rt->stop();
   const auto wall_settled = WallClock::now();
@@ -256,6 +265,24 @@ TrialOutcome run_algorithm_trial(RuntimeKind kind, RuntimeConfig config,
   if (want_metrics) {
     outcome.metrics = rt->metrics_snapshot();
     outcome.has_metrics = true;
+  }
+  if (outcome.completed && outcome.decision_node >= 0) {
+    // Decision-terminated critical path (obs/causal.h). Pure analysis of
+    // the pre-settle snapshot: no RNG, no event reordering, so aggregates
+    // are untouched; chains may be `truncated` in lite flight mode
+    // (RuntimeConfig::causal_history widens the ring).
+    const CriticalPath path = extract_critical_path(
+        decided_trace.events(), NodeId{outcome.decision_node}, outcome.time);
+    outcome.critical_path = CriticalPathStats::from_path(path);
+    outcome.has_critical_path = true;
+  }
+  {
+    TimeSeries series = rt->timeseries_snapshot();
+    if (series.enabled()) {
+      series.trials = 1;
+      outcome.timeseries = std::move(series);
+      outcome.has_timeseries = true;
+    }
   }
   if (!outcome.completed || outcome.stalled || !outcome.safety_ok) {
     // Failure forensics: dump the always-on flight recorder's recent

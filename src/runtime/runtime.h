@@ -35,7 +35,9 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "runtime/thread_net.h"
 #include "trace/trace.h"
 
@@ -92,6 +94,15 @@ struct RuntimeConfig {
   // cannot change any seeded aggregate. Off by default; scenario sweeps
   // turn it on.
   bool metrics = false;
+  // Causal-history mode: widen the always-on flight ring to full capacity
+  // while keeping records lite (no detail strings), so critical-path
+  // chains (obs/causal.h) reach back to their roots instead of truncating
+  // at 256 events. Same no-RNG/no-reorder contract as `metrics`.
+  bool causal_history = false;
+  // Time-series telemetry (obs/timeseries.h): sim-time sampling grid for
+  // load gauges; 0 disables. Simulator only — thread-runtime gauges would
+  // be wall-clock artefacts.
+  double timeseries_interval = 0.0;
   // --- thread-runtime realisation (ignored by the simulator) -------------
   double time_scale_us = 200.0;     // wall microseconds per sim unit
   // Hard per-trial wall budget, counted from start(): run_until_done and
@@ -152,11 +163,23 @@ struct TrialOutcome {
   bool stalled = false;
   SimTime time = 0.0;       // completion time (sim units on both runtimes)
   std::uint64_t messages = 0;
+  // Node at which the algorithm decided (elected leader / consensus sink);
+  // -1 when unknown. Set by drivers in extract(); anchors the causal
+  // critical path (obs/causal.h).
+  std::int64_t decision_node = -1;
   // Observability harvest (run_algorithm_trial fills these in; drivers
   // that hand-construct outcomes may leave them empty).
   bool has_metrics = false;       // metrics was on and a snapshot was taken
   MetricsSnapshot metrics;        // deterministic on the simulator
   WallPhaseTimes wall;            // wall-clock phases, never deterministic
+  // Critical path of the decision (completed trials with a decision node
+  // only). Extracted from a trace snapshot taken BEFORE the settle phase,
+  // so settle traffic cannot evict the decision's causal history.
+  bool has_critical_path = false;
+  CriticalPathStats critical_path;
+  // Per-trial time series (sim runtime with timeseries_interval > 0 only).
+  bool has_timeseries = false;
+  TimeSeries timeseries;
   // Tail of the always-on flight recorder, populated only for trials that
   // stalled, missed the deadline, or violated safety — the recent-history
   // dump that makes failures diagnosable without pre-enabling tracing.
@@ -219,6 +242,9 @@ class Runtime {
   // capacity + payload detail when RuntimeConfig::trace is set). Thread
   // records are stamped with mailbox delivery time. Safe after stop().
   virtual Trace trace_snapshot() const = 0;
+  // Sampled load gauges (RuntimeConfig::timeseries_interval). Only the
+  // simulator samples; the default is an empty, disabled series.
+  virtual TimeSeries timeseries_snapshot() const { return TimeSeries{}; }
 };
 
 // Minimum wall window ThreadRuntime::run_for realises (see run_for).
@@ -252,6 +278,9 @@ class SimRuntime final : public Runtime {
     return net_.metrics_snapshot();
   }
   Trace trace_snapshot() const override { return net_.trace(); }
+  TimeSeries timeseries_snapshot() const override {
+    return net_.timeseries();
+  }
 
   // Escape hatch for simulator-only instrumentation (trace, per-channel
   // overrides, scheduler introspection).

@@ -31,9 +31,11 @@ class ThreadNetwork::ThreadContext final : public Context {
     const std::size_t to = net_->config_.topology.edges[edge].to;
 
     net_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
-    net_->record_trace(TraceKind::kSend, self(),
-                       static_cast<std::int64_t>(edge),
-                       net_->trace_detail(*payload, edge));
+    // The send's cause is the handler this thread is currently running; the
+    // send's id rides the mail item so the pop-side DELIVER links back.
+    const std::int64_t send_id = net_->record_trace(
+        TraceKind::kSend, self(), static_cast<std::int64_t>(edge),
+        net_->trace_detail(*payload, edge), self_slot.current_cause);
     // Silent loss (failure injection): the message vanishes in transit.
     // Sent-then-dropped counting mirrors NetworkMetrics, so in-flight
     // arithmetic (sent - delivered - dropped) works on both runtimes.
@@ -43,7 +45,7 @@ class ThreadNetwork::ThreadContext final : public Context {
       net_->record_trace(TraceKind::kDrop,
                          NodeId{static_cast<std::int64_t>(to)},
                          static_cast<std::int64_t>(edge),
-                         net_->trace_detail(*payload, edge));
+                         net_->trace_detail(*payload, edge), send_id);
       return;
     }
 
@@ -56,8 +58,11 @@ class ThreadNetwork::ThreadContext final : public Context {
     MailItem item;
     item.kind = MailItem::Kind::kMessage;
     item.due = net_->sim_to_wall(delay);
+    item.cause = send_id;
     item.in_index = net_->in_index_of_edge_[edge];
+    item.edge = edge;
     item.payload = std::shared_ptr<const Payload>(payload.release());
+    item.delay_sim = delay;
     net_->slots_[to].mailbox->push(std::move(item));
   }
 
@@ -75,6 +80,9 @@ class ThreadNetwork::ThreadContext final : public Context {
     MailItem item;
     item.kind = MailItem::Kind::kTimer;
     item.due = net_->sim_to_wall(real_delay);
+    // set_timer_local runs on the node's own thread: the arming handler is
+    // this slot's current event.
+    item.cause = net_->slots_[index_].current_cause;
     item.timer_id = id;
     item.tag = tag;
     net_->slots_[index_].mailbox->push(std::move(item));
@@ -89,7 +97,8 @@ class ThreadNetwork::ThreadContext final : public Context {
   Rng& rng() override { return net_->slots_[index_].rng; }
 
   void log(const std::string& detail) override {
-    net_->record_trace(TraceKind::kCustom, self(), -1, detail);
+    net_->record_trace(TraceKind::kCustom, self(), -1, detail,
+                       net_->slots_[index_].current_cause);
   }
 
  private:
@@ -133,9 +142,12 @@ ThreadNetwork::ThreadNetwork(ThreadNetConfig config)
       slots_[i].clock_rate = 1.0;
     }
   }
-  if (config_.trace) {
+  {
     MutexLock lock(trace_mutex_);
-    trace_.enable();
+    if (config_.trace) trace_.enable();
+    // Lite records at full capacity: enough retained history for complete
+    // cause chains without the detail-string cost.
+    if (config_.causal_history) trace_.set_capacity(Trace::kFullCapacity);
   }
 }
 
@@ -145,18 +157,20 @@ std::string ThreadNetwork::trace_detail(const Payload& payload,
   return "edge=" + std::to_string(edge) + " " + payload.describe();
 }
 
-void ThreadNetwork::record_trace(TraceKind kind, NodeId node,
-                                 std::int64_t arg, const std::string& detail) {
+std::int64_t ThreadNetwork::record_trace(TraceKind kind, NodeId node,
+                                         std::int64_t arg,
+                                         const std::string& detail,
+                                         std::int64_t cause, double delay,
+                                         double work) {
   // Delivery-side records are stamped with now_sim() at the moment the
   // consumer popped the item — mailbox delivery time, the thread runtime's
   // analogue of the simulator's event time.
   const double t = now_sim();
   MutexLock lock(trace_mutex_);
   if (detail.empty()) {
-    trace_.record(t, kind, node, arg);
-  } else {
-    trace_.record(t, kind, node, detail, arg);
+    return trace_.record(t, kind, node, arg, cause, delay, work);
   }
+  return trace_.record(t, kind, node, detail, arg, cause, delay, work);
 }
 
 Trace ThreadNetwork::trace_copy() const {
@@ -301,38 +315,49 @@ void ThreadNetwork::thread_main(std::size_t index) {
                                    : MailItem::Clock::time_point{};
     if (item.kind == MailItem::Kind::kMessage) {
       messages_delivered_.fetch_add(1, std::memory_order_relaxed);
-      record_trace(TraceKind::kDeliver, ctx.self(),
-                   static_cast<std::int64_t>(item.in_index),
-                   config_.trace ? "in=" + std::to_string(item.in_index) +
-                                       " " + item.payload->describe()
-                                 : std::string());
-      // Definition 1(3): handling occupies the node for the sampled time.
+      // The processing draw happens before the record so the DELIVER can
+      // carry its `work` attribution; same per-thread draw sequence either
+      // way (this thread's rng sees no other draw in between).
+      double ptime = 0.0;
       if (config_.processing.kind != ProcessingModel::Kind::kZero) {
-        const double ptime = config_.processing.sample(slot.rng);
-        if (ptime > 0.0) {
-          std::this_thread::sleep_for(std::chrono::microseconds(
-              static_cast<std::int64_t>(ptime * config_.time_scale_us)));
-        }
+        ptime = config_.processing.sample(slot.rng);
+      }
+      // arg is the global edge id, as on the simulator, so cross-runtime
+      // edge attribution and the SEND->DELIVER edge match line up.
+      slot.current_cause = record_trace(
+          TraceKind::kDeliver, ctx.self(),
+          static_cast<std::int64_t>(item.edge),
+          config_.trace ? "edge=" + std::to_string(item.edge) + " " +
+                              item.payload->describe()
+                        : std::string(),
+          item.cause, item.delay_sim, ptime);
+      // Definition 1(3): handling occupies the node for the sampled time.
+      if (ptime > 0.0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<std::int64_t>(ptime * config_.time_scale_us)));
       }
       slot.node->on_message(ctx, item.in_index, *item.payload);
     } else if (item.kind == MailItem::Kind::kTimer) {
       if (item.timer_id == -1) {
         ++tick_seq;
         ticks_fired_.fetch_add(1, std::memory_order_relaxed);
-        record_trace(TraceKind::kTick, ctx.self(),
-                     static_cast<std::int64_t>(tick_seq));
+        slot.current_cause = record_trace(TraceKind::kTick, ctx.self(),
+                                          static_cast<std::int64_t>(tick_seq),
+                                          std::string(), item.cause);
         slot.node->on_tick(ctx, tick_seq);
         if (!slot.node->is_terminated()) {
           MailItem tick;
           tick.kind = MailItem::Kind::kTimer;
           tick.timer_id = -1;
+          tick.cause = slot.current_cause;  // this tick schedules the next
           tick.due = next_tick_due();
           slot.mailbox->push(std::move(tick));
         }
       } else {
         timers_fired_.fetch_add(1, std::memory_order_relaxed);
-        record_trace(TraceKind::kTimer, ctx.self(),
-                     static_cast<std::int64_t>(item.tag));
+        slot.current_cause = record_trace(TraceKind::kTimer, ctx.self(),
+                                          static_cast<std::int64_t>(item.tag),
+                                          std::string(), item.cause);
         slot.node->on_timer(ctx, TimerId{item.timer_id}, item.tag);
       }
     }

@@ -64,6 +64,10 @@ struct ThreadNetConfig {
   // Full-detail tracing (payload strings in every record). The flight
   // recorder itself is always on — see ThreadNetwork::trace_copy().
   bool trace = false;
+  // Causal-history mode (mirrors NetworkConfig::causal_history): widen the
+  // flight ring to full capacity while keeping records lite, so cause
+  // chains (obs/causal.h) reach their roots.
+  bool causal_history = false;
   // Extended observability: per-node handler-time accounting, harvested by
   // metrics_snapshot(). Off by default.
   bool metrics = false;
@@ -139,6 +143,10 @@ class ThreadNetwork {
     std::thread thread;
     Rng rng;
     double clock_rate = 1.0;
+    // Trace id of the event this node's thread is currently handling (-1
+    // outside handlers). Like `rng`, touched only by the owning thread:
+    // sends stamp it as their cause, pops overwrite it.
+    std::int64_t current_cause = -1;
     std::atomic<bool> terminated{false};
     // Nanoseconds spent inside event handlers (metrics mode only). Written
     // by the owning node thread, read by metrics_snapshot().
@@ -149,12 +157,14 @@ class ThreadNetwork {
   // Wakes wait_until/wait_quiescent callers after a state change.
   void signal_progress() EXCLUDES(progress_mutex_);
   MailItem::Clock::time_point sim_to_wall(double sim_delay_from_now) const;
-  // Appends to the flight recorder; called concurrently from node threads.
-  // `detail` is recorded only in full-trace mode (or for kCustom, whose
-  // payload IS the string).
-  void record_trace(TraceKind kind, NodeId node, std::int64_t arg,
-                    const std::string& detail = std::string())
-      EXCLUDES(trace_mutex_);
+  // Appends to the flight recorder and returns the record's id; called
+  // concurrently from node threads. `detail` is recorded only in full-trace
+  // mode (or for kCustom, whose payload IS the string). `cause`/`delay`/
+  // `work` mirror Trace::record (obs/causal.h attribution).
+  std::int64_t record_trace(TraceKind kind, NodeId node, std::int64_t arg,
+                            const std::string& detail = std::string(),
+                            std::int64_t cause = -1, double delay = 0.0,
+                            double work = 0.0) EXCLUDES(trace_mutex_);
   // "edge=N <payload>" in full-trace mode, empty otherwise — so lite-mode
   // sends never pay for string formatting.
   std::string trace_detail(const Payload& payload, std::size_t edge) const;

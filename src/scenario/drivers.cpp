@@ -182,6 +182,11 @@ ScenarioTrialDriver make_beta_sync_binding(const Topology& topology) {
     out.metrics = outcome.metrics;
     out.wall = outcome.wall;
     out.flight_tail = outcome.flight_tail;
+    out.decision_node = outcome.decision_node;
+    out.has_critical_path = outcome.has_critical_path;
+    out.critical_path = outcome.critical_path;
+    out.has_timeseries = outcome.has_timeseries;
+    out.timeseries = outcome.timeseries;
     out.completed = sink->completed;
     out.time = sink->completion_time;
     out.messages = sink->messages_total;
@@ -261,6 +266,9 @@ RuntimeConfig scenario_runtime_config(const ScenarioSpec& spec,
   // seeded aggregates stay bit-identical with the flag on (test_obs pins
   // this), and every sweep cell gets its metrics block for free.
   config.metrics = true;
+  config.causal_history = spec.causal_history;
+  config.timeseries_interval =
+      spec.runtime == RuntimeKind::kSim ? spec.timeseries_interval : 0.0;
   if (!spec.adversary.empty()) {
     // Fresh policy per trial: the per-channel delay accounts are trial
     // state. The bound is the (failure-degraded) model's advertised mean —

@@ -200,6 +200,17 @@ struct ScenarioSpec {
   double thread_time_scale_us = 200.0;
   double thread_wall_timeout_ms = 30000.0;
 
+  // Observation-only knobs — deliberately NOT part of cell_id(): turning
+  // them on must not re-key a cell, and neither consumes RNG nor reorders
+  // events, so seeded aggregates stay bit-identical either way.
+  // causal_history widens the flight ring to full capacity so critical-
+  // path chains (obs/causal.h) reach their roots instead of truncating at
+  // the 256-event lite window. A positive timeseries_interval samples the
+  // pending/in-flight/live gauges on the sim-time grid (obs/timeseries.h;
+  // simulator cells only — wall-clock sampling would be nondeterministic).
+  bool causal_history = false;
+  double timeseries_interval = 0.0;
+
   // Stable identifier of this cell within a sweep:
   // "<algorithm>/<topology>/<delay>/<drift>/<failure>", plus a trailing
   // "/eq-<backend>" when a non-default event queue is pinned (so a

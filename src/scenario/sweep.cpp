@@ -1,6 +1,9 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -27,6 +30,8 @@ void ScenarioAggregate::merge(const ScenarioAggregate& other) {
   // tree's merge order cannot change the result.
   metrics.merge(other.metrics);
   wall += other.wall;
+  critical_path.merge(other.critical_path);
+  timeseries.merge(other.timeseries);
 }
 
 ScenarioAggregate run_scenario_trials(const ScenarioSpec& spec,
@@ -45,6 +50,8 @@ ScenarioAggregate run_scenario_trials(const ScenarioSpec& spec,
           // to show.
           if (run.has_metrics) out.metrics.merge(run.metrics);
           out.wall += run.wall;
+          if (run.has_critical_path) out.critical_path.add(run.critical_path, s);
+          if (run.has_timeseries) out.timeseries.merge(run.timeseries);
           if (!run.completed) {
             if (run.stalled) {
               ++out.stalled;
@@ -91,6 +98,21 @@ std::vector<SweepCellOutcome> run_sweep(
 
 namespace {
 
+// Same number style as MetricsSnapshot::append_json: integers bare,
+// everything else at max_digits10 so a byte-equal document means
+// bit-equal values.
+std::string json_number(double v) {
+  const double r = std::nearbyint(v);
+  if (r == v && std::fabs(v) < 9.007199254740992e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(r);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -114,10 +136,46 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+void append_critical_path_json(const CriticalPathAggregate& aggregate,
+                               std::string* out) {
+  ABE_CHECK(out != nullptr);
+  std::string& s = *out;
+  s += "{\"considered\": ";
+  s += json_number(static_cast<double>(aggregate.considered));
+  s += ", \"found\": ";
+  s += json_number(static_cast<double>(aggregate.found));
+  s += ", \"truncated\": ";
+  s += json_number(static_cast<double>(aggregate.truncated));
+  s += ", \"hops\": " + aggregate.hops.to_json();
+  s += ", \"span\": " + aggregate.span.to_json();
+  s += ", \"channel_delay\": " + aggregate.channel_delay.to_json();
+  s += ", \"processing\": " + aggregate.processing.to_json();
+  s += ", \"queueing\": " + aggregate.queueing.to_json();
+  s += ", \"waiting\": " + aggregate.waiting.to_json();
+  s += ", \"top_channels\": [";
+  // A large cell has O(n) channels; the heaviest few are what a reader can
+  // act on, and the per-hop Summary above already carries the totals.
+  constexpr std::size_t kTopChannels = 8;
+  const std::vector<EdgeShare> top = aggregate.top_channels(kTopChannels);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += "{\"edge\": " + json_number(static_cast<double>(top[i].edge));
+    s += ", \"hops\": " + json_number(static_cast<double>(top[i].hops));
+    s += ", \"delay\": " + json_number(top[i].delay) + "}";
+  }
+  s += "]";
+  if (aggregate.has_worst) {
+    s += ", \"worst\": {\"seed\": ";
+    s += json_number(static_cast<double>(aggregate.worst_seed));
+    s += ", \"span\": " + json_number(aggregate.worst_span) + "}";
+  }
+  s += "}";
+}
+
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes) {
   os << "{\n"
-     << "  \"schema\": \"abe-scenario-sweep-v5\",\n"
+     << "  \"schema\": \"abe-scenario-sweep-v6\",\n"
      << "  \"metadata\": {\n"
      << "    \"git_sha\": \"" << json_escape(metadata.git_sha) << "\",\n"
      << "    \"compiler\": \"" << json_escape(metadata.compiler) << "\",\n"
@@ -175,11 +233,20 @@ void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
     }
     std::string metrics_json;
     agg.metrics.append_json(&metrics_json);
+    std::string critical_path_json;
+    append_critical_path_json(agg.critical_path, &critical_path_json);
     os << "],\n"
        << "      \"messages\": " << agg.messages.to_json() << ",\n"
        << "      \"time\": " << agg.time.to_json() << ",\n"
        << "      \"metrics\": " << metrics_json << ",\n"
-       << "      \"wall\": {\"build_ms\": " << agg.wall.build_ms
+       << "      \"critical_path\": " << critical_path_json << ",\n";
+    if (agg.timeseries.enabled()) {
+      std::string timeseries_json;
+      agg.timeseries.append_json(&timeseries_json);
+      // append_json emits a `"timeseries": {...}` key-value pair.
+      os << "      " << timeseries_json << ",\n";
+    }
+    os << "      \"wall\": {\"build_ms\": " << agg.wall.build_ms
        << ", \"run_ms\": " << agg.wall.run_ms
        << ", \"settle_ms\": " << agg.wall.settle_ms << "}\n    }";
   }

@@ -9,19 +9,23 @@
 // of the trial seed, so graph randomness is part of the Monte-Carlo estimate
 // and equally reproducible.
 //
-// The JSON document (schema "abe-scenario-sweep-v5") carries the same
+// The JSON document (schema "abe-scenario-sweep-v6") carries the same
 // provenance metadata as the BENCH_*.json perf trajectory — git sha,
 // compiler, build type, thread count, the event-queue backend, plus the
 // execution runtime — so sweep results are attributable to a commit,
 // toolchain, scheduler and substrate; bench/validate_scenarios.py checks
-// the structure (v2/v3/v4 documents, which predate the runtime axis, the
-// adversary axes, and the observability block respectively, are still
-// accepted there). v4 added the safety-probe fields: per-cell stalled
-// counts, behavior/adversary axis values, and the replayable seeds behind
-// any safety violations. v5 adds the observability block: a per-cell
-// "metrics" array (the merged MetricsSnapshot, deterministic on simulator
-// cells) and a "wall" object (summed wall-clock phase times, never
-// deterministic).
+// the structure (v2/v3/v4/v5 documents, which predate the runtime axis,
+// the adversary axes, the observability block, and the causal block
+// respectively, are still accepted there). v4 added the safety-probe
+// fields: per-cell stalled counts, behavior/adversary axis values, and the
+// replayable seeds behind any safety violations. v5 added the
+// observability block: a per-cell "metrics" array (the merged
+// MetricsSnapshot, deterministic on simulator cells) and a "wall" object
+// (summed wall-clock phase times, never deterministic). v6 adds the
+// causal block: a per-cell "critical_path" object (obs/causal.h —
+// decision-chain length, per-component attribution summaries, heaviest
+// channels and the worst replayable trial) plus an optional "timeseries"
+// object when the cell sampled the sim-time grid (obs/timeseries.h).
 #pragma once
 
 #include <cstdint>
@@ -30,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/causal.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "runtime/runtime.h"
 #include "scenario/scenario.h"
 #include "stats/summary.h"
@@ -75,6 +81,13 @@ struct ScenarioAggregate {
   // never deterministic; reported for profiling, excluded from any
   // bit-identity comparison.
   WallPhaseTimes wall;
+  // Critical-path roll-up over decided trials (obs/causal.h). Same
+  // order-commutative merge discipline as `metrics`: bit-identical for
+  // every thread count on simulator cells.
+  CriticalPathAggregate critical_path;
+  // Sim-time-grid telemetry, summed across trials (obs/timeseries.h).
+  // Empty unless the spec set a positive timeseries_interval.
+  TimeSeries timeseries;
 
   void merge(const ScenarioAggregate& other);
 };
@@ -119,9 +132,16 @@ std::vector<SweepCellOutcome> run_sweep(
     std::uint64_t seed_base = 1, unsigned threads = 0,
     const SweepProgressFn& progress = nullptr);
 
-// Structured per-cell JSON, schema "abe-scenario-sweep-v5".
+// Structured per-cell JSON, schema "abe-scenario-sweep-v6".
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes);
+
+// Serialises one cell's critical-path aggregate as the JSON object the v6
+// "critical_path" field carries. Exposed (rather than folded into
+// write_sweep_json) so the golden test can pin the byte-exact rendering of
+// a fixed-seed cell across event-queue backends and thread counts.
+void append_critical_path_json(const CriticalPathAggregate& aggregate,
+                               std::string* out);
 
 // Aligned ASCII table of the outcomes (one row per cell).
 std::string render_sweep_table(const std::vector<SweepCellOutcome>& outcomes);

@@ -37,6 +37,7 @@ std::string TraceEvent::to_string() const {
   } else if (arg >= 0) {
     os << " arg=" << arg;
   }
+  if (cause >= 0) os << " <-#" << cause;
   return os.str();
 }
 
@@ -56,25 +57,47 @@ void Trace::set_capacity(std::size_t capacity) {
   capacity_ = capacity;
 }
 
-void Trace::record(SimTime time, TraceKind kind, NodeId node,
-                   std::int64_t arg) {
-  push(TraceEvent{time, kind, node, arg, std::string()});
+std::int64_t Trace::record(SimTime time, TraceKind kind, NodeId node,
+                           std::int64_t arg, std::int64_t cause, double delay,
+                           double work) {
+  TraceEvent event;
+  event.time = time;
+  event.kind = kind;
+  event.node = node;
+  event.arg = arg;
+  event.cause = cause;
+  event.delay = delay;
+  event.work = work;
+  return push(std::move(event));
 }
 
-void Trace::record(SimTime time, TraceKind kind, NodeId node,
-                   std::string detail, std::int64_t arg) {
-  push(TraceEvent{time, kind, node, arg, std::move(detail)});
+std::int64_t Trace::record(SimTime time, TraceKind kind, NodeId node,
+                           std::string detail, std::int64_t arg,
+                           std::int64_t cause, double delay, double work) {
+  TraceEvent event;
+  event.time = time;
+  event.kind = kind;
+  event.node = node;
+  event.arg = arg;
+  event.cause = cause;
+  event.delay = delay;
+  event.work = work;
+  event.detail = std::move(detail);
+  return push(std::move(event));
 }
 
-void Trace::push(TraceEvent event) {
+std::int64_t Trace::push(TraceEvent event) {
   counts_[static_cast<std::size_t>(event.kind)] += 1;
+  const std::int64_t id = static_cast<std::int64_t>(recorded_);
+  event.id = id;
   recorded_ += 1;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
-    return;
+    return id;
   }
   ring_[head_] = std::move(event);
   head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  return id;
 }
 
 std::vector<TraceEvent> Trace::events() const {
@@ -95,6 +118,11 @@ void Trace::clear() {
 
 std::vector<TraceEvent> Trace::filter(TraceKind kind) const {
   std::vector<TraceEvent> out;
+  // The per-kind count includes evicted events, so the retained ring size
+  // caps it; reserving the min avoids every regrowth copy without ever
+  // over-allocating past the ring.
+  out.reserve(std::min<std::size_t>(
+      counts_[static_cast<std::size_t>(kind)], ring_.size()));
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     const TraceEvent& e = ring_[(head_ + i) % ring_.size()];
     if (e.kind == kind) out.push_back(e);

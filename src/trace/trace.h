@@ -13,6 +13,15 @@
 // maintained incrementally, so count() is O(1) and monotonic since the
 // last clear() — it keeps counting events the ring has already evicted.
 //
+// Causality: every record() returns the new event's id (its position in the
+// recorded-since-clear() sequence), and events may carry the id of the event
+// that caused them — the SEND that produced a DELIVER, the handler that
+// issued a SEND, the schedule site of a TIMER/TICK fire. Ids are dense, so
+// as long as the causing event is still retained it sits at
+// `id - events().front().id` in the linearized ring; obs/causal.h rebuilds
+// the happens-before chain from exactly that. All causal fields are POD —
+// the lite flight-recorder mode stays allocation-free.
+//
 // Thread safety: none here. The simulator records single-threaded; the
 // thread runtime wraps its Trace in an AnnotatedMutex (runtime/thread_net.h)
 // and stamps records with mailbox delivery time.
@@ -48,7 +57,11 @@ struct TraceEvent {
   TraceKind kind = TraceKind::kCustom;
   NodeId node;          // primary node involved (receiver for deliveries)
   std::int64_t arg = -1;  // cheap numeric context (edge, tag, …); -1 = none
-  std::string detail;   // free-form, e.g. "hop=3"; full mode only
+  std::int64_t id = -1;     // dense record index since clear(); set by push()
+  std::int64_t cause = -1;  // id of the event that caused this one; -1 = root
+  double delay = 0.0;  // DELIVER: channel-delay share of (time - cause.time)
+  double work = 0.0;   // DELIVER: processing-time share; rest is queueing
+  std::string detail;  // free-form, e.g. "hop=3"; full mode only
 
   std::string to_string() const;
 };
@@ -76,13 +89,20 @@ class Trace {
   void set_capacity(std::size_t capacity);
   std::size_t capacity() const { return capacity_; }
 
-  // Records an event. The detail overload is for full-mode call sites (and
-  // log(), whose payload IS the string); hot paths should pass numeric args
-  // only unless enabled().
-  void record(SimTime time, TraceKind kind, NodeId node,
-              std::int64_t arg = -1);
-  void record(SimTime time, TraceKind kind, NodeId node, std::string detail,
-              std::int64_t arg = -1);
+  // Records an event and returns its id (dense since clear(), survives ring
+  // eviction). The detail overload is for full-mode call sites (and log(),
+  // whose payload IS the string); hot paths should pass numeric args only
+  // unless enabled(). `cause` is the id of the causing event (-1 = root);
+  // `delay`/`work` attribute a DELIVER's latency to channel and processing.
+  std::int64_t record(SimTime time, TraceKind kind, NodeId node,
+                      std::int64_t arg = -1, std::int64_t cause = -1,
+                      double delay = 0.0, double work = 0.0);
+  std::int64_t record(SimTime time, TraceKind kind, NodeId node,
+                      std::string detail, std::int64_t arg = -1,
+                      std::int64_t cause = -1, double delay = 0.0,
+                      double work = 0.0);
+  // Id the next record() will return; usable as a "current event" sentinel.
+  std::int64_t next_id() const { return static_cast<std::int64_t>(recorded_); }
 
   // Events still held by the ring, oldest first.
   std::vector<TraceEvent> events() const;
@@ -107,7 +127,7 @@ class Trace {
   std::string to_string() const;
 
  private:
-  void push(TraceEvent event);
+  std::int64_t push(TraceEvent event);
 
   bool enabled_ = false;
   std::size_t capacity_ = kFlightCapacity;

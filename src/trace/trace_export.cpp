@@ -43,6 +43,9 @@ void write_chrome_trace(std::ostream& os,
                         const std::vector<TraceEvent>& events) {
   const auto flags = os.flags();
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  // Dense ids (trace.h): the retained window is contiguous, so a cause is
+  // present exactly when it lies in [first_id, first_id + size).
+  const std::int64_t first_id = events.empty() ? 0 : events.front().id;
   os << "[";
   bool first = true;
   for (const TraceEvent& e : events) {
@@ -52,12 +55,26 @@ void write_chrome_trace(std::ostream& os,
     write_json_string(os, trace_kind_name(e.kind));
     os << ", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": "
        << e.node.value() << ", \"ts\": " << e.time * 1e6 << ", \"args\": {";
-    os << "\"arg\": " << e.arg;
+    os << "\"arg\": " << e.arg << ", \"id\": " << e.id
+       << ", \"cause\": " << e.cause;
     if (!e.detail.empty()) {
       os << ", \"detail\": ";
       write_json_string(os, e.detail);
     }
     os << "}}";
+    // The happens-before link as a flow arrow: start at the cause, finish
+    // at the effect. The effect's id is the arrow's id — unique per link
+    // even when one cause fans out to many effects — and `bp: "e"` binds
+    // each endpoint to the instant emitted at the same (tid, ts).
+    if (e.cause >= first_id && e.cause < e.id) {
+      const TraceEvent& c = events[static_cast<std::size_t>(e.cause - first_id)];
+      os << ",\n  {\"name\": \"causal\", \"cat\": \"causal\", \"ph\": \"s\","
+         << " \"id\": " << e.id << ", \"pid\": 0, \"tid\": "
+         << c.node.value() << ", \"ts\": " << c.time * 1e6 << "}";
+      os << ",\n  {\"name\": \"causal\", \"cat\": \"causal\", \"ph\": \"f\","
+         << " \"bp\": \"e\", \"id\": " << e.id << ", \"pid\": 0, \"tid\": "
+         << e.node.value() << ", \"ts\": " << e.time * 1e6 << "}";
+    }
   }
   os << "\n]\n";
   os.flags(flags);
@@ -70,7 +87,11 @@ void write_trace_jsonl(std::ostream& os,
   for (const TraceEvent& e : events) {
     os << "{\"t\": " << e.time << ", \"kind\": ";
     write_json_string(os, trace_kind_name(e.kind));
-    os << ", \"node\": " << e.node.value() << ", \"arg\": " << e.arg;
+    os << ", \"node\": " << e.node.value() << ", \"arg\": " << e.arg
+       << ", \"id\": " << e.id << ", \"cause\": " << e.cause;
+    if (e.delay != 0.0 || e.work != 0.0) {
+      os << ", \"delay\": " << e.delay << ", \"work\": " << e.work;
+    }
     if (!e.detail.empty()) {
       os << ", \"detail\": ";
       write_json_string(os, e.detail);

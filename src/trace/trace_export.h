@@ -4,10 +4,15 @@
 // (instant events, one Chrome "thread" per node), loadable in
 // chrome://tracing / Perfetto — `abe_scenarios trace --chrome` turns a
 // replayed violation seed into a timeline. One sim time unit maps to one
-// second, so `ts` (microseconds) = time × 1e6.
+// second, so `ts` (microseconds) = time × 1e6. Causal links (TraceEvent::
+// cause, obs/causal.h) additionally become flow events — a `ph: "s"` at
+// the cause and a matching `ph: "f"` at the effect, sharing name/cat/id —
+// which the viewers draw as arrows between the two timeline rows; links
+// whose cause left the retained ring are skipped.
 //
 // write_trace_jsonl emits one JSON object per line ({"t", "kind", "node",
-// "arg", "detail"}) for jq-style ad-hoc analysis.
+// "arg", "id", "cause", "delay", "work", "detail"}) for jq-style ad-hoc
+// analysis.
 #pragma once
 
 #include <ostream>

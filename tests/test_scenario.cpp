@@ -470,7 +470,7 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   std::ostringstream os;
   write_sweep_json(os, meta, outcomes);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v5\""),
+  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v6\""),
             std::string::npos);
   EXPECT_NE(json.find("\"git_sha\": \"cafe123\""), std::string::npos);
   EXPECT_NE(json.find("\"trial_threads\": 4"), std::string::npos);
@@ -487,6 +487,10 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   EXPECT_NE(json.find("\"metrics\": ["), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"net.sent\""), std::string::npos);
   EXPECT_NE(json.find("\"wall\": {\"build_ms\": "), std::string::npos);
+  // v6 causal block: per-cell critical-path attribution aggregate.
+  EXPECT_NE(json.find("\"critical_path\": {\"considered\": 3"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"channel_delay\": {"), std::string::npos);
   // Balanced braces: cheap structural sanity (CI runs the real validator,
   // bench/validate_scenarios.py, on emitted files).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),

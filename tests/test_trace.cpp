@@ -1,6 +1,9 @@
 // Tests for the trace recorder and for the CLI flag parser.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "trace/trace.h"
 #include "util/cli.h"
 
@@ -101,6 +104,71 @@ TEST(Trace, KindNamesDistinct) {
   EXPECT_STREQ(trace_kind_name(TraceKind::kSend), "SEND");
   EXPECT_STREQ(trace_kind_name(TraceKind::kDrop), "DROP");
   EXPECT_STREQ(trace_kind_name(TraceKind::kRoundStart), "ROUND");
+}
+
+TEST(Trace, KindNamesExhaustive) {
+  // Every kind in [0, kTraceKindCount) must have a distinct, non-empty
+  // name — adding an enumerator without extending trace_kind_name (or
+  // kTraceKindCount) is the regression this pins.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kTraceKindCount; ++i) {
+    const char* name = trace_kind_name(static_cast<TraceKind>(i));
+    ASSERT_NE(name, nullptr) << "kind " << i;
+    EXPECT_FALSE(std::string(name).empty()) << "kind " << i;
+    EXPECT_NE(std::string(name), "?") << "kind " << i;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kTraceKindCount) << "duplicate kind names";
+}
+
+TEST(Trace, RecordReturnsDenseIds) {
+  Trace trace;
+  const std::int64_t a = trace.record(1.0, TraceKind::kSend, NodeId{0});
+  const std::int64_t b =
+      trace.record(2.0, TraceKind::kDeliver, NodeId{1}, /*arg=*/7,
+                   /*cause=*/a, /*delay=*/0.5, /*work=*/0.25);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(trace.next_id(), 2);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].id, a);
+  EXPECT_EQ(events[1].id, b);
+  EXPECT_EQ(events[1].cause, a);
+  EXPECT_DOUBLE_EQ(events[1].delay, 0.5);
+  EXPECT_DOUBLE_EQ(events[1].work, 0.25);
+  // Ids survive eviction: they index the record stream, not the ring.
+  for (std::size_t i = 0; i < Trace::kFlightCapacity; ++i) {
+    trace.record(3.0, TraceKind::kTick, NodeId{0});
+  }
+  EXPECT_EQ(trace.events().front().id,
+            static_cast<std::int64_t>(trace.evicted()));
+}
+
+TEST(Trace, ToStringShowsCause) {
+  Trace trace;
+  trace.enable();
+  const std::int64_t cause = trace.record(1.0, TraceKind::kSend, NodeId{0});
+  trace.record(2.0, TraceKind::kDeliver, NodeId{1}, /*arg=*/-1, cause);
+  const std::string s = trace.to_string();
+  EXPECT_NE(s.find("<-#0"), std::string::npos) << s;
+}
+
+TEST(Trace, FilterAfterEviction) {
+  // filter() reserves from the per-kind count clamped to the retained ring
+  // (the count includes evicted records); the result must hold exactly the
+  // retained matches.
+  Trace trace;  // lite: 256-slot ring
+  const std::size_t total = Trace::kFlightCapacity * 2;
+  for (std::size_t i = 0; i < total; ++i) {
+    trace.record(static_cast<double>(i),
+                 i % 2 == 0 ? TraceKind::kSend : TraceKind::kDeliver,
+                 NodeId{0}, static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(trace.count(TraceKind::kSend), total / 2);
+  const auto sends = trace.filter(TraceKind::kSend);
+  EXPECT_EQ(sends.size(), Trace::kFlightCapacity / 2);
+  for (const TraceEvent& e : sends) EXPECT_EQ(e.kind, TraceKind::kSend);
 }
 
 // ---------------------------------------------------------------------
