@@ -4,7 +4,7 @@
   python3 bench/validate_scenarios.py sweep.json [more.json ...]
   python3 bench/validate_scenarios.py --self-test
 
-Checks the structure the "abe-scenario-sweep-v6" schema promises — the
+Checks the structure the "abe-scenario-sweep-v7" schema promises — the
 metadata provenance block, per-cell axes (including the execution runtime
 and the adversarial behavior/adversary axes), aggregate summaries, the
 v5 observability block and the v6 causal block — plus the one correctness
@@ -13,8 +13,10 @@ elected two leaders is a bug, not a perf delta; the violation_seeds list
 in the document replays it). Older documents are still accepted: v2 is v3
 minus the runtime fields, v3 is v4 minus the adversary/safety-probe
 fields, v4 is v5 minus the observability block, v5 is v6 minus the causal
-block. Exit codes: 0 valid, 1 schema violation or safety violation, 2
-unreadable input.
+block, v6 is v7 minus the "udp" runtime value and the wall "total_ms"
+field (a v6 document claiming runtime "udp" is rejected — only v7
+emitters produce it). Exit codes: 0 valid, 1 schema violation or safety
+violation, 2 unreadable input.
 
 v5 observability block, per cell:
   "metrics": array of metric entries sorted ascending by "name"; each has
@@ -26,7 +28,9 @@ v5 observability block, per cell:
       base, same thread count or not, bit-identical values.
   "wall": object with numeric "build_ms" / "run_ms" / "settle_ms" —
       summed wall-clock phase times across the cell's trials. Real
-      elapsed time; never compared for determinism.
+      elapsed time; never compared for determinism. v7 adds "total_ms",
+      measured between the same chained clock reads that bound the
+      phases (src/runtime/runtime.h WallPhaseTimes).
 
 v6 causal block, per cell (src/obs/causal.h):
   "critical_path": object with non-negative int "considered" / "found" /
@@ -54,7 +58,7 @@ import sys
 
 SCHEMAS = ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3",
            "abe-scenario-sweep-v4", "abe-scenario-sweep-v5",
-           "abe-scenario-sweep-v6")
+           "abe-scenario-sweep-v6", "abe-scenario-sweep-v7")
 
 METRIC_KINDS = ("counter", "gauge", "histogram")
 
@@ -63,6 +67,11 @@ WALL_FIELDS = {
     "run_ms": (int, float),
     "settle_ms": (int, float),
 }
+
+# v7 adds the total phase (same clock reads, so build+run+settle == total
+# on each trial; sums preserve that but floating-point noise is fine here —
+# structure only, no arithmetic check).
+WALL_FIELDS_V7 = dict(WALL_FIELDS, total_ms=(int, float))
 
 METADATA_FIELDS = {
     "git_sha": str,
@@ -74,7 +83,10 @@ METADATA_FIELDS = {
     "seed_base": int,
 }
 
+# The "udp" execution substrate (real loopback datagrams) only exists from
+# v7 on; a pre-v7 document carrying it is a forgery, not a downgrade.
 RUNTIMES = ("sim", "thread")
+RUNTIMES_V7 = ("sim", "thread", "udp")
 
 # The JSON emitter caps the violation_seeds list it prints; the count field
 # stays authoritative (src/scenario/sweep.cpp).
@@ -244,9 +256,13 @@ def validate(path, doc):
         return fail(path, f"schema is {schema!r}, want one of {SCHEMAS}")
     v3 = schema != "abe-scenario-sweep-v2"
     v4 = schema in ("abe-scenario-sweep-v4", "abe-scenario-sweep-v5",
-                    "abe-scenario-sweep-v6")
-    v5 = schema in ("abe-scenario-sweep-v5", "abe-scenario-sweep-v6")
-    v6 = schema == "abe-scenario-sweep-v6"
+                    "abe-scenario-sweep-v6", "abe-scenario-sweep-v7")
+    v5 = schema in ("abe-scenario-sweep-v5", "abe-scenario-sweep-v6",
+                    "abe-scenario-sweep-v7")
+    v6 = schema in ("abe-scenario-sweep-v6", "abe-scenario-sweep-v7")
+    v7 = schema == "abe-scenario-sweep-v7"
+    runtimes = RUNTIMES_V7 if v7 else RUNTIMES
+    wall_fields = WALL_FIELDS_V7 if v7 else WALL_FIELDS
     metadata = doc.get("metadata")
     if not isinstance(metadata, dict):
         return fail(path, "metadata is not an object")
@@ -255,9 +271,9 @@ def validate(path, doc):
         metadata_fields["runtime"] = str
     if not check_fields(path, metadata, metadata_fields, "metadata"):
         return False
-    if v3 and metadata["runtime"] not in RUNTIMES:
+    if v3 and metadata["runtime"] not in runtimes:
         return fail(path, f"metadata.runtime {metadata['runtime']!r} not in "
-                          f"{RUNTIMES}")
+                          f"{runtimes}")
     cells = doc.get("cells")
     if not isinstance(cells, list) or not cells:
         return fail(path, "cells must be a non-empty array")
@@ -283,7 +299,7 @@ def validate(path, doc):
         if v5:
             if not validate_metrics(path, cell["metrics"], where):
                 return False
-            if not check_fields(path, cell["wall"], WALL_FIELDS,
+            if not check_fields(path, cell["wall"], wall_fields,
                                 f"{where}.wall"):
                 return False
         if v6:
@@ -293,9 +309,9 @@ def validate(path, doc):
             if "timeseries" in cell and \
                     not validate_timeseries(path, cell["timeseries"], where):
                 return False
-        if v3 and cell["runtime"] not in RUNTIMES:
+        if v3 and cell["runtime"] not in runtimes:
             return fail(path, f"{where}.runtime {cell['runtime']!r} not in "
-                              f"{RUNTIMES}")
+                              f"{runtimes}")
         topo = cell["topology"]
         if not isinstance(topo.get("family"), str) or \
                 not isinstance(topo.get("n"), int) or topo["n"] < 1:
@@ -341,8 +357,8 @@ def _summary(count=1, value=1.0):
             "max": value, "ci95": 0.0}
 
 
-def _fixture_v6():
-    """A minimal document every v6 check accepts."""
+def _fixture_v7():
+    """A minimal document every v7 check accepts (udp cell, total_ms)."""
     cp = {"considered": 1, "found": 1, "truncated": 0,
           "top_channels": [{"edge": 3, "hops": 1, "delay": 2.0},
                            {"edge": 1, "hops": 1, "delay": 1.0}],
@@ -350,25 +366,26 @@ def _fixture_v6():
     for key in CRITICAL_PATH_SUMMARIES:
         cp[key] = _summary()
     return {
-        "schema": "abe-scenario-sweep-v6",
+        "schema": "abe-scenario-sweep-v7",
         "metadata": {"git_sha": "deadbeef", "compiler": "cc",
                      "build_type": "Release", "equeue": "auto",
-                     "runtime": "sim", "trial_threads": 1, "trials": 1,
+                     "runtime": "udp", "trial_threads": 1, "trials": 1,
                      "seed_base": 1},
         "cells": [{
-            "cell": "abe-ring/ring-uni-4/exponential/ideal/none",
+            "cell": "abe-ring/ring-uni-4/exponential/ideal/none/rt-udp/arq",
             "scenario": "fixture", "algorithm": "abe-ring",
             "topology": {"family": "ring-uni", "n": 4, "param": 0},
             "delay": {"model": "exponential", "mean": 1.0},
             "clock": {"s_low": 1, "s_high": 1, "drift": "ideal"},
             "failure": "none", "behavior": "honest", "adversary": "none",
-            "equeue": "auto", "runtime": "sim",
+            "equeue": "auto", "runtime": "udp",
             "trials": 1, "failures": 0, "stalled": 0,
             "safety_violations": 0, "violation_seeds": [],
             "messages": _summary(), "time": _summary(),
             "metrics": [{"name": "net.sent", "kind": "counter",
                          "value": 8}],
-            "wall": {"build_ms": 0.1, "run_ms": 1.0, "settle_ms": 0.2},
+            "wall": {"build_ms": 0.1, "run_ms": 1.0, "settle_ms": 0.2,
+                     "total_ms": 1.3},
             "critical_path": cp,
             "timeseries": {"interval": 5.0, "trials": 1,
                            "samples": [{"t": 5.0, "pending": 4.0,
@@ -383,9 +400,18 @@ def _downgrade(doc, schema):
     """Derives an older-schema fixture by stripping the newer blocks."""
     doc = json.loads(json.dumps(doc))
     doc["schema"] = schema
+    # Pre-v7 schemas have no "udp" runtime value and no wall total — a v6
+    # fixture must be one a v6 emitter could have produced.
+    doc["metadata"]["runtime"] = "sim"
     for cell in doc["cells"]:
-        cell.pop("timeseries", None)
-        cell.pop("critical_path", None)
+        cell["runtime"] = "sim"
+        cell["cell"] = "abe-ring/ring-uni-4/exponential/ideal/none"
+        if "wall" in cell:
+            cell["wall"].pop("total_ms", None)
+        if schema in ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3",
+                      "abe-scenario-sweep-v4", "abe-scenario-sweep-v5"):
+            cell.pop("timeseries", None)
+            cell.pop("critical_path", None)
         if schema in ("abe-scenario-sweep-v2", "abe-scenario-sweep-v3",
                       "abe-scenario-sweep-v4"):
             cell.pop("metrics", None)
@@ -415,18 +441,28 @@ def self_test():
             failures += 1
 
     # Every schema version must still validate.
-    good = _fixture_v6()
-    expect("v6", good, True)
+    good = _fixture_v7()
+    expect("v7", good, True)
     for schema in SCHEMAS[:-1]:
         expect(schema.rsplit("-", 1)[-1], _downgrade(good, schema), True)
 
-    # A v6 document without the causal block — and a v6 block that is
+    # A v6 document without the causal block — and a v6/v7 block that is
     # malformed in each of the ways the emitter cannot produce — must be
     # rejected.
     def mutated(mutate):
-        doc = _fixture_v6()
+        doc = _fixture_v7()
         mutate(doc["cells"][0])
         return doc
+
+    # v7-specific rejections: the udp runtime value and the wall total are
+    # v7-only, and unknown runtime strings stay unknown.
+    v6_forged_udp = _downgrade(good, "abe-scenario-sweep-v6")
+    v6_forged_udp["cells"][0]["runtime"] = "udp"
+    expect("v6-claims-udp-runtime", v6_forged_udp, False)
+    expect("v7-wall-missing-total-ms",
+           mutated(lambda c: c["wall"].pop("total_ms")), False)
+    expect("v7-unknown-runtime",
+           mutated(lambda c: c.update(runtime="quic")), False)
 
     expect("v6-missing-critical-path",
            mutated(lambda c: c.pop("critical_path")), False)

@@ -41,12 +41,20 @@
 //   --equeue B    scheduler event-queue backend (auto|heap|calendar|ladder)
 //                 for cells that do not pin one; recorded in the JSON
 //                 provenance block. Results are bit-identical per backend.
-//   --runtime R   execution substrate (sim|thread) for cells that do not
-//                 pin one. `thread` runs one OS thread per node with
+//   --runtime R   execution substrate (sim|thread|udp) for cells that do
+//                 not pin one. `thread` runs one OS thread per node with
 //                 wall-clock delays — a fidelity check on the simulator;
-//                 cells the thread runtime cannot realise (piecewise
-//                 drift, pinned equeue, n > 256) are rejected up front,
-//                 and wall-clock results are nondeterministic by design.
+//                 `udp` additionally makes every message a real loopback
+//                 datagram (one socket per node) and measures transit
+//                 delay instead of simulating it. Cells a wall-clock
+//                 runtime cannot realise (piecewise drift, pinned equeue,
+//                 n > 256 threads / n > 128 sockets) are rejected up
+//                 front, and wall-clock results are nondeterministic by
+//                 design.
+//   --arq         udp cells only (run/replay): layer the net/arq.h
+//                 retransmission protocol per channel (ACKs, seq dedup,
+//                 bounded retries) so lossy cells still deliver exactly
+//                 once; adds "/arq" to the cell id
 //   --json PATH   also write the structured sweep JSON ("-" for stdout)
 //   --n N         override the topology size (run/replay only)
 //   --delay NAME --mean M   override the delay model (run/replay only)
@@ -105,7 +113,7 @@ int usage(const char* program) {
                "       %s run <scenario> [--trials N] [--seed N] "
                "[--threads N] [--n N] [--delay NAME] [--mean M] "
                "[--failure F] [--behavior B] [--adversary A] "
-               "[--equeue B] [--runtime R] [--json PATH]\n"
+               "[--equeue B] [--runtime R] [--arq] [--json PATH]\n"
                "       %s sweep [<sweep>] [--trials N] [--seed N] "
                "[--threads N] [--equeue B] [--runtime R] [--json PATH]\n"
                "       %s replay <scenario> --seed N [--n N] [--delay NAME] "
@@ -302,7 +310,7 @@ int run_cells(std::vector<abe::ScenarioSpec> cells,
   if (flags.has("runtime")) {
     const std::string name = flags.get_string("runtime", "sim");
     if (!abe::runtime_kind_from_name(name, &runtime)) {
-      std::fprintf(stderr, "unknown runtime '%s'; known: sim thread\n",
+      std::fprintf(stderr, "unknown runtime '%s'; known: sim thread udp\n",
                    name.c_str());
       return 2;
     }
@@ -447,6 +455,11 @@ int apply_cell_overrides(abe::ScenarioSpec& spec, const std::string& name,
   if (flags.has("adversary")) {
     spec.adversary = flags.get_string("adversary", "");
     if (spec.adversary == "none") spec.adversary.clear();
+  }
+  // ARQ reliable mode is a udp-runtime realisation knob; it is harmless on
+  // other substrates (ignored) but only meaningful with --runtime udp.
+  if (flags.has("arq")) {
+    spec.udp_reliable = flags.get_bool("arq", false);
   }
   // One structural gate for the whole adversarial axis: afflicted count vs
   // n, profile-vs-algorithm support, and the adversary policy name.
@@ -695,8 +708,8 @@ int main(int argc, char** argv) {
   // before any trials run, not silently defaulted.
   for (const char* known :
        {"trials", "seed", "threads", "json", "n", "delay", "mean",
-        "equeue", "runtime", "failure", "behavior", "adversary", "chrome",
-        "jsonl", "timeseries"}) {
+        "equeue", "runtime", "arq", "failure", "behavior", "adversary",
+        "chrome", "jsonl", "timeseries"}) {
     flags.has(known);
   }
   const auto unknown = flags.unknown_flags();

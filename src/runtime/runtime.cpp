@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/harness.h"
+#include "runtime/udp_runtime.h"
 #include "util/check.h"
 
 namespace abe {
@@ -15,12 +16,15 @@ const char* runtime_kind_name(RuntimeKind kind) {
       return "sim";
     case RuntimeKind::kThread:
       return "thread";
+    case RuntimeKind::kUdp:
+      return "udp";
   }
   return "?";
 }
 
 bool runtime_kind_from_name(const std::string& name, RuntimeKind* out) {
-  for (RuntimeKind kind : {RuntimeKind::kSim, RuntimeKind::kThread}) {
+  for (RuntimeKind kind :
+       {RuntimeKind::kSim, RuntimeKind::kThread, RuntimeKind::kUdp}) {
     if (name == runtime_kind_name(kind)) {
       *out = kind;
       return true;
@@ -138,8 +142,12 @@ void ThreadRuntime::build_nodes(
 
 void ThreadRuntime::start() {
   net_.start();
+  // Single clock read point: derive the wall deadline from the same
+  // start_time_ read net_.start() took, rather than a second now() — so
+  // the budget and now_sim() share one origin and cross-substrate wall
+  // accounting lines up (ISSUE 10 small fix).
   wall_deadline_ =
-      std::chrono::steady_clock::now() +
+      net_.start_time() +
       std::chrono::microseconds(
           static_cast<std::int64_t>(wall_timeout_ms_ * 1000.0));
   started_ = true;
@@ -224,6 +232,8 @@ std::unique_ptr<Runtime> make_runtime(RuntimeKind kind,
       return std::make_unique<SimRuntime>(std::move(config));
     case RuntimeKind::kThread:
       return std::make_unique<ThreadRuntime>(std::move(config));
+    case RuntimeKind::kUdp:
+      return std::make_unique<UdpRuntime>(std::move(config));
   }
   ABE_CHECK(false) << "unhandled runtime kind";
   return nullptr;
@@ -262,6 +272,9 @@ TrialOutcome run_algorithm_trial(RuntimeKind kind, RuntimeConfig config,
   outcome.wall.build_ms = ms_between(wall_begin, wall_built);
   outcome.wall.run_ms = ms_between(wall_built, wall_ran);
   outcome.wall.settle_ms = ms_between(wall_ran, wall_settled);
+  // Computed from the SAME chained reads as the phases — one clock read
+  // per phase boundary — so build + run + settle == total identically.
+  outcome.wall.total_ms = ms_between(wall_begin, wall_settled);
   if (want_metrics) {
     outcome.metrics = rt->metrics_snapshot();
     outcome.has_metrics = true;

@@ -11,8 +11,10 @@
 //     simulator; wall time scale and budget for threads);
 //   * Runtime — one lifecycle (build nodes → start → run to a completion
 //     predicate or deadline → settle/drain → stop → inspect), implemented by
-//       - SimRuntime    wrapping Scheduler+Network  (net/network.h), and
-//       - ThreadRuntime wrapping ThreadNetwork      (runtime/thread_net.h);
+//       - SimRuntime    wrapping Scheduler+Network  (net/network.h),
+//       - ThreadRuntime wrapping ThreadNetwork      (runtime/thread_net.h),
+//       - UdpRuntime    wrapping UdpNetwork         (runtime/udp_runtime.h,
+//         real loopback datagrams with measured delays);
 //   * RunStats — the uniform harvest (messages sent/delivered/dropped, ticks,
 //     clock reading, per-node terminated flags);
 //   * AlgorithmDriver — what an algorithm must provide to run on either
@@ -49,6 +51,7 @@ namespace abe {
 enum class RuntimeKind : std::uint8_t {
   kSim,     // discrete-event simulator (deterministic, any n)
   kThread,  // one OS thread per node, wall-clock delays (fidelity check)
+  kUdp,     // real loopback UDP datagrams, measured delays (udp_runtime.h)
 };
 
 const char* runtime_kind_name(RuntimeKind kind);
@@ -103,12 +106,17 @@ struct RuntimeConfig {
   // load gauges; 0 disables. Simulator only — thread-runtime gauges would
   // be wall-clock artefacts.
   double timeseries_interval = 0.0;
-  // --- thread-runtime realisation (ignored by the simulator) -------------
+  // --- thread/udp-runtime realisation (ignored by the simulator) ---------
   double time_scale_us = 200.0;     // wall microseconds per sim unit
   // Hard per-trial wall budget, counted from start(): run_until_done and
   // drain share it (a stalled run cannot burn the full budget twice).
   // Settle windows (run_for) are bounded sleeps on top.
   double wall_timeout_ms = 30000.0;
+  // --- udp-runtime realisation (ignored elsewhere) -----------------------
+  // Per-channel ARQ reliable mode: sequence numbers, ACKs, timeout
+  // retransmission, receiver dedup (runtime/udp_runtime.h). Injected loss
+  // then degrades goodput instead of dropping messages.
+  bool udp_reliable = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -142,10 +150,17 @@ struct WallPhaseTimes {
   double build_ms = 0.0;   // configure + runtime construction + build_nodes
   double run_ms = 0.0;     // start → done-predicate (or deadline)
   double settle_ms = 0.0;  // on_complete + settle + stop
+  // Whole-trial wall time, measured between the SAME two clock reads that
+  // bound the phases (run_algorithm_trial chains one read per phase
+  // boundary), so build + run + settle == total exactly — the invariant
+  // that makes cross-substrate wall blocks comparable, and that
+  // tests/test_runtime.cpp pins.
+  double total_ms = 0.0;
   WallPhaseTimes& operator+=(const WallPhaseTimes& other) {
     build_ms += other.build_ms;
     run_ms += other.run_ms;
     settle_ms += other.settle_ms;
+    total_ms += other.total_ms;
     return *this;
   }
 };
@@ -252,6 +267,11 @@ constexpr double kMinSettleWallMs = 100.0;
 
 // Node cap for the thread runtime: one OS thread per node.
 constexpr std::size_t kMaxThreadRuntimeNodes = 256;
+
+// Node cap for the udp runtime: one loopback socket (fd + ephemeral port)
+// plus TWO OS threads (reader + dispatcher) per node, so its budget is
+// tighter than the thread runtime's.
+constexpr std::size_t kMaxUdpRuntimeNodes = 128;
 
 // ---------------------------------------------------------------------------
 // Concrete runtimes

@@ -119,6 +119,10 @@ class ThreadNetwork {
   std::uint64_t ticks_fired() const { return ticks_fired_.load(); }
   // Wall time since start(), in sim units.
   double now_sim() const;
+  // The single monotonic-clock read start() took; ThreadRuntime derives
+  // its wall deadline from it so budget arithmetic and now_sim() share one
+  // origin (one clock read point per phase).
+  MailItem::Clock::time_point start_time() const { return start_time_; }
 
   // Copy of the flight recorder (trace/trace.h): always-on ring of recent
   // events, stamped with mailbox DELIVERY time (now_sim() at pop), so the

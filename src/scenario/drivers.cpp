@@ -262,6 +262,7 @@ RuntimeConfig scenario_runtime_config(const ScenarioSpec& spec,
   config.deadline = spec.deadline;
   config.time_scale_us = spec.thread_time_scale_us;
   config.wall_timeout_ms = spec.thread_wall_timeout_ms;
+  config.udp_reliable = spec.udp_reliable;
   // Scenario trials always harvest metrics: recording consumes no RNG, so
   // seeded aggregates stay bit-identical with the flag on (test_obs pins
   // this), and every sweep cell gets its metrics block for free.

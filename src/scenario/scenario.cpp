@@ -381,6 +381,9 @@ std::string ScenarioSpec::cell_id() const {
   }
   if (runtime != RuntimeKind::kSim) {
     os << "/rt-" << runtime_kind_name(runtime);
+    // ARQ reliable mode changes what a udp cell measures (goodput under
+    // retransmission vs raw loss), so it re-keys the cell.
+    if (runtime == RuntimeKind::kUdp && udp_reliable) os << "/arq";
   }
   if (!behavior.is_honest()) {
     os << "/beh-" << behavior.describe();
@@ -416,16 +419,33 @@ std::string behavior_cell_problem(const ScenarioSpec& spec) {
 
 std::string runtime_cell_problem(const ScenarioSpec& spec) {
   if (spec.runtime == RuntimeKind::kSim) return "";
+  const bool udp = spec.runtime == RuntimeKind::kUdp;
   if (spec.drift == DriftModel::kPiecewiseRandom) {
+    if (udp) {
+      return "udp runtime realises clocks as scaled wall time; "
+             "piecewise-random drift is impossible there (use kNone or "
+             "kFixedRandomRate)";
+    }
     return "thread runtime realises clocks as scaled wall time; "
            "piecewise-random drift is impossible there (use kNone or "
            "kFixedRandomRate)";
   }
   if (spec.equeue != EqueueBackend::kAuto) {
+    if (udp) {
+      return "the event-queue backend is a simulator scheduler knob; udp "
+             "cells must keep equeue=auto";
+    }
     return "the event-queue backend is a simulator scheduler knob; thread "
            "cells must keep equeue=auto";
   }
-  if (spec.topology.n > kMaxThreadRuntimeNodes) {
+  if (udp) {
+    if (spec.topology.n > kMaxUdpRuntimeNodes) {
+      return "n=" + std::to_string(spec.topology.n) +
+             " exceeds the per-node socket/port budget (max " +
+             std::to_string(kMaxUdpRuntimeNodes) +
+             ": one loopback socket and two OS threads per node)";
+    }
+  } else if (spec.topology.n > kMaxThreadRuntimeNodes) {
     return "n=" + std::to_string(spec.topology.n) +
            " exceeds the one-OS-thread-per-node budget (max " +
            std::to_string(kMaxThreadRuntimeNodes) + ")";
@@ -456,16 +476,26 @@ std::string ScenarioSpec::describe() const {
        << "\n";
   }
   os << "equeue   : " << equeue_backend_name(equeue) << "\n"
-     << "runtime  : " << runtime_kind_name(runtime) << "\n";
+     << "runtime  : " << runtime_kind_name(runtime)
+     << (runtime == RuntimeKind::kUdp && udp_reliable ? " (arq reliable)" : "")
+     << "\n";
   // Structural runtime compatibility, mirroring the algorithm×topology
-  // filter: say up front why a thread run of this cell would be rejected
-  // instead of letting the user hit a bare error.
+  // filter: say up front why a thread or udp run of this cell would be
+  // rejected instead of letting the user hit a bare error.
   {
     ScenarioSpec threaded = *this;
     threaded.runtime = RuntimeKind::kThread;
     const std::string problem = runtime_cell_problem(threaded);
     os << "thread?  : "
        << (problem.empty() ? "ok (--runtime thread)" : "rejected — " + problem)
+       << "\n";
+  }
+  {
+    ScenarioSpec udp = *this;
+    udp.runtime = RuntimeKind::kUdp;
+    const std::string problem = runtime_cell_problem(udp);
+    os << "udp?     : "
+       << (problem.empty() ? "ok (--runtime udp)" : "rejected — " + problem)
        << "\n";
   }
   os << "trials   : " << default_trials << " (default)\n"
@@ -748,6 +778,34 @@ std::vector<ScenarioMatrix> build_sweeps() {
     // Lossy cells can stall (see the failure sweep); fail fast on both
     // substrates — the sim deadline scales to a ~4 s wall budget per
     // thread trial, under the 10 s hard cap.
+    m.base.default_trials = 4;
+    m.base.deadline = 2e4;
+    m.base.thread_wall_timeout_ms = 10000.0;
+    sweeps.push_back(std::move(m));
+  }
+
+  // Real-socket sweep (ISSUE 10 acceptance): ring election over actual
+  // loopback UDP datagrams, reliable channels and injected per-attempt
+  // loss. The whole sweep runs in ARQ reliable mode, so the lossy cell
+  // degrades into retransmissions (goodput loss, arq.rtt inflation)
+  // instead of dropped messages — every cell must classify completed, and
+  // every per-cell metrics block carries the measured udp.transit_us delay
+  // histogram that the calibration path (fit_udp_calibration) feeds back
+  // into DelayModel parameters.
+  {
+    ScenarioMatrix m;
+    m.name = "udp-loopback";
+    m.description =
+        "ring election over real loopback datagrams, ARQ reliable, "
+        "{no-loss, loss-0.05}";
+    m.algorithms = {ScenarioAlgorithm::kRingElection};
+    m.topologies = {TopologySpec{TopologyFamily::kRingUni, 8, 0.0}};
+    m.delays = {{"exponential", 1.0}};
+    m.failures = {FailureProfile::none(), FailureProfile::loss(0.05)};
+    m.runtimes = {RuntimeKind::kUdp};
+    m.base.udp_reliable = true;
+    // Same fail-fast budgets as the cross-runtime sweep: the sim deadline
+    // scales to a ~4 s wall budget per trial, under the 10 s hard cap.
     m.base.default_trials = 4;
     m.base.deadline = 2e4;
     m.base.thread_wall_timeout_ms = 10000.0;

@@ -194,11 +194,16 @@ struct ScenarioSpec {
   // running; matrix expansion filters structurally impossible combinations
   // the same way it filters algorithm×topology.
   RuntimeKind runtime = RuntimeKind::kSim;
-  // Thread-runtime realisation: wall microseconds per sim unit, and the
-  // hard per-trial wall budget (wall-clock runs must not inherit simulator
-  // deadlines like 1e7 units verbatim).
+  // Thread/udp-runtime realisation: wall microseconds per sim unit, and
+  // the hard per-trial wall budget (wall-clock runs must not inherit
+  // simulator deadlines like 1e7 units verbatim).
   double thread_time_scale_us = 200.0;
   double thread_wall_timeout_ms = 30000.0;
+  // Udp cells only: per-channel ARQ reliable mode (runtime/udp_runtime.h —
+  // sequence numbers, ACKs, timeout retransmission, receiver dedup), so
+  // injected loss degrades goodput instead of dropping messages. Part of
+  // cell_id() ("/arq") because it changes what the cell measures.
+  bool udp_reliable = false;
 
   // Observation-only knobs — deliberately NOT part of cell_id(): turning
   // them on must not re-key a cell, and neither consumes RNG nor reorders
@@ -215,8 +220,9 @@ struct ScenarioSpec {
   // "<algorithm>/<topology>/<delay>/<drift>/<failure>", plus a trailing
   // "/eq-<backend>" when a non-default event queue is pinned (so a
   // backend-swept matrix keeps unique ids without disturbing existing
-  // auto-backend ids), plus "/rt-thread" when the cell runs on the thread
-  // runtime (simulator cells keep their pre-runtime-axis ids), plus
+  // auto-backend ids), plus "/rt-thread" or "/rt-udp" when the cell runs
+  // on a non-simulator substrate (simulator cells keep their
+  // pre-runtime-axis ids; udp cells in ARQ reliable mode add "/arq"), plus
   // "/beh-<behavior>" and "/adv-<policy>" when the adversary axes are
   // non-default (honest cells keep their pre-adversary ids).
   std::string cell_id() const;
@@ -228,8 +234,11 @@ struct ScenarioSpec {
 // Simulator cells always can; thread cells are rejected for piecewise
 // drift (wall clocks can only realise fixed rates), pinned event-queue
 // backends (a simulator-only knob), or n beyond the one-OS-thread-per-node
-// budget (kMaxThreadRuntimeNodes). The validation boundary for user input
-// (CLI --runtime), where aborting is rude; mirrors TopologySpec::problem.
+// budget (kMaxThreadRuntimeNodes). Udp cells share the drift and equeue
+// rejections and have the tighter per-node socket/port budget
+// (kMaxUdpRuntimeNodes: one loopback socket + two OS threads per node).
+// The validation boundary for user input (CLI --runtime), where aborting
+// is rude; mirrors TopologySpec::problem.
 std::string runtime_cell_problem(const ScenarioSpec& spec);
 
 // Why this cell's adversary axes are invalid — empty when they are fine.

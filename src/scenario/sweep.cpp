@@ -175,7 +175,7 @@ void append_critical_path_json(const CriticalPathAggregate& aggregate,
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes) {
   os << "{\n"
-     << "  \"schema\": \"abe-scenario-sweep-v6\",\n"
+     << "  \"schema\": \"abe-scenario-sweep-v7\",\n"
      << "  \"metadata\": {\n"
      << "    \"git_sha\": \"" << json_escape(metadata.git_sha) << "\",\n"
      << "    \"compiler\": \"" << json_escape(metadata.compiler) << "\",\n"
@@ -248,7 +248,8 @@ void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
     }
     os << "      \"wall\": {\"build_ms\": " << agg.wall.build_ms
        << ", \"run_ms\": " << agg.wall.run_ms
-       << ", \"settle_ms\": " << agg.wall.settle_ms << "}\n    }";
+       << ", \"settle_ms\": " << agg.wall.settle_ms
+       << ", \"total_ms\": " << agg.wall.total_ms << "}\n    }";
   }
   os << "\n  ]\n}\n";
 }
@@ -283,7 +284,8 @@ std::string render_metrics_report(
     os << "=== " << outcomes[i].spec.cell_id() << " ===\n";
     os << "trials: " << agg.trials << "  wall: build "
        << agg.wall.build_ms << " ms, run " << agg.wall.run_ms
-       << " ms, settle " << agg.wall.settle_ms << " ms\n";
+       << " ms, settle " << agg.wall.settle_ms << " ms, total "
+       << agg.wall.total_ms << " ms\n";
     if (agg.metrics.empty()) {
       os << "(no metrics harvested)\n";
     } else {

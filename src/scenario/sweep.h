@@ -9,23 +9,26 @@
 // of the trial seed, so graph randomness is part of the Monte-Carlo estimate
 // and equally reproducible.
 //
-// The JSON document (schema "abe-scenario-sweep-v6") carries the same
+// The JSON document (schema "abe-scenario-sweep-v7") carries the same
 // provenance metadata as the BENCH_*.json perf trajectory — git sha,
 // compiler, build type, thread count, the event-queue backend, plus the
 // execution runtime — so sweep results are attributable to a commit,
 // toolchain, scheduler and substrate; bench/validate_scenarios.py checks
-// the structure (v2/v3/v4/v5 documents, which predate the runtime axis,
-// the adversary axes, the observability block, and the causal block
-// respectively, are still accepted there). v4 added the safety-probe
-// fields: per-cell stalled counts, behavior/adversary axis values, and the
-// replayable seeds behind any safety violations. v5 added the
-// observability block: a per-cell "metrics" array (the merged
+// the structure (v2..v6 documents, which predate the runtime axis, the
+// adversary axes, the observability block, the causal block, and the udp
+// substrate respectively, are still accepted there). v4 added the
+// safety-probe fields: per-cell stalled counts, behavior/adversary axis
+// values, and the replayable seeds behind any safety violations. v5 added
+// the observability block: a per-cell "metrics" array (the merged
 // MetricsSnapshot, deterministic on simulator cells) and a "wall" object
-// (summed wall-clock phase times, never deterministic). v6 adds the
+// (summed wall-clock phase times, never deterministic). v6 added the
 // causal block: a per-cell "critical_path" object (obs/causal.h —
 // decision-chain length, per-component attribution summaries, heaviest
 // channels and the worst replayable trial) plus an optional "timeseries"
 // object when the cell sampled the sim-time grid (obs/timeseries.h).
+// v7 admits "udp" as a runtime value (metadata + cells) and adds
+// "total_ms" to the wall object, measured between the same chained clock
+// reads as the phases so build + run + settle == total.
 #pragma once
 
 #include <cstdint>
@@ -132,7 +135,7 @@ std::vector<SweepCellOutcome> run_sweep(
     std::uint64_t seed_base = 1, unsigned threads = 0,
     const SweepProgressFn& progress = nullptr);
 
-// Structured per-cell JSON, schema "abe-scenario-sweep-v6".
+// Structured per-cell JSON, schema "abe-scenario-sweep-v7".
 void write_sweep_json(std::ostream& os, const SweepRunMetadata& metadata,
                       const std::vector<SweepCellOutcome>& outcomes);
 

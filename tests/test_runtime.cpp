@@ -301,8 +301,12 @@ struct ParityCase {
   // Behavior-profile token (adversary/behavior.h grammar). Adversarial
   // cells may legitimately stall — crashing or equivocating nodes can
   // starve the election — but a completed trial must still elect exactly
-  // one leader on BOTH substrates. That is the safety property under test.
+  // one leader on EVERY substrate. That is the safety property under test.
   const char* behavior = "honest";
+  // Run the real-socket leg too (sim × thread × udp). Lossy udp cells run
+  // the ARQ reliable channel, so they complete rather than stall — real
+  // loss is masked, not simulated away.
+  bool udp = false;
 };
 
 class CrossRuntimeParity : public ::testing::TestWithParam<ParityCase> {};
@@ -361,32 +365,55 @@ TEST_P(CrossRuntimeParity, CompletedTrialsAreSafeAndMessagesComparable) {
     thread_messages.add(static_cast<double>(trial.messages));
   }
 
+  // Udp side: two real-datagram trials. Lossy cells ride the ARQ reliable
+  // channel, so completion is expected, not merely tolerated.
+  Summary udp_messages;
+  if (c.udp) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      spec.runtime = RuntimeKind::kUdp;
+      spec.udp_reliable = c.loss > 0.0;
+      ASSERT_EQ(runtime_cell_problem(spec), "");
+      const ScenarioTrialResult trial = run_scenario_trial(spec, seed);
+      ASSERT_TRUE(trial.completed)
+          << "udp trial (ARQ masks loss) did not complete, seed=" << seed;
+      EXPECT_TRUE(trial.safety_ok) << "seed=" << seed << ": "
+                                   << trial.safety_detail;
+      EXPECT_GE(trial.messages, n - 1);
+      udp_messages.add(static_cast<double>(trial.messages));
+    }
+  }
+
   if (c.loss == 0.0 && !adversarial) {
     // Reliable honest cells must complete everywhere.
     EXPECT_EQ(sim_messages.count(), 6u);
     EXPECT_EQ(thread_messages.count(), 2u);
   }
-  if (sim_messages.count() > 0 && thread_messages.count() > 0) {
+  const auto comparable = [&](const char* name, const Summary& other) {
     // Same algorithm, same graph, same model regime: per-trial message
     // aggregates agree within an order of magnitude (the election is
     // stochastic and wall scheduling differs; bit-equality is impossible).
-    const double ratio = thread_messages.mean() / sim_messages.mean();
-    EXPECT_GT(ratio, 0.1) << "thread mean " << thread_messages.mean()
+    if (sim_messages.count() == 0 || other.count() == 0) return;
+    const double ratio = other.mean() / sim_messages.mean();
+    EXPECT_GT(ratio, 0.1) << name << " mean " << other.mean()
                           << " vs sim mean " << sim_messages.mean();
-    EXPECT_LT(ratio, 10.0) << "thread mean " << thread_messages.mean()
+    EXPECT_LT(ratio, 10.0) << name << " mean " << other.mean()
                            << " vs sim mean " << sim_messages.mean();
-  }
+  };
+  comparable("thread", thread_messages);
+  comparable("udp", udp_messages);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     RingAndPolling, CrossRuntimeParity,
     ::testing::Values(
-        ParityCase{"ring_reliable", ScenarioAlgorithm::kRingElection, 0.0},
-        ParityCase{"ring_lossy", ScenarioAlgorithm::kRingElection, 0.01},
+        ParityCase{"ring_reliable", ScenarioAlgorithm::kRingElection, 0.0,
+                   "honest", /*udp=*/true},
+        ParityCase{"ring_lossy", ScenarioAlgorithm::kRingElection, 0.01,
+                   "honest", /*udp=*/true},
         ParityCase{"polling_reliable", ScenarioAlgorithm::kPollingElection,
-                   0.0},
+                   0.0, "honest", /*udp=*/true},
         ParityCase{"polling_lossy", ScenarioAlgorithm::kPollingElection,
-                   0.01},
+                   0.01, "honest", /*udp=*/true},
         ParityCase{"ring_equivocate", ScenarioAlgorithm::kRingElection, 0.0,
                    "equivocate-1"},
         ParityCase{"ring_reorder", ScenarioAlgorithm::kRingElection, 0.0,
@@ -414,7 +441,8 @@ TEST(CrossRuntimeParity, TraceSendDeliverCountsMatchStats) {
   Rng topo_rng = Rng(seed).substream("scenario-topology");
   const Topology topology = spec.topology.build(topo_rng);
 
-  for (const RuntimeKind kind : {RuntimeKind::kSim, RuntimeKind::kThread}) {
+  for (const RuntimeKind kind :
+       {RuntimeKind::kSim, RuntimeKind::kThread, RuntimeKind::kUdp}) {
     SCOPED_TRACE(runtime_kind_name(kind));
     ScenarioTrialDriver binding = make_scenario_driver(spec, topology, seed);
     RuntimeConfig config = scenario_runtime_config(spec, topology, seed);
@@ -444,6 +472,38 @@ TEST(CrossRuntimeParity, TraceSendDeliverCountsMatchStats) {
     EXPECT_EQ(trace.count(TraceKind::kSend), stats.messages_sent);
     EXPECT_EQ(trace.count(TraceKind::kDeliver), stats.messages_delivered);
     EXPECT_EQ(trace.count(TraceKind::kDrop), stats.messages_dropped);
+  }
+}
+
+// RunStats wall accounting: each phase boundary is ONE monotonic-clock
+// read shared by the phase before and after it, and total_ms is measured
+// between the first and last of those same reads — so build + run +
+// settle must equal total up to floating-point summation on every
+// substrate. (The regression this pins: ThreadRuntime::start() used to
+// take a second clock read for its wall deadline, and total was not
+// measured at all.)
+TEST(CrossRuntimeParity, WallPhaseTimesSumToTotal) {
+  ScenarioSpec spec;
+  spec.algorithm = ScenarioAlgorithm::kRingElection;
+  spec.topology = TopologySpec{TopologyFamily::kRingUni, 6, 0.0};
+  spec.settle_time = 5.0;
+  spec.deadline = 2e4;
+  spec.thread_time_scale_us = 100.0;
+  spec.thread_wall_timeout_ms = 10000.0;
+
+  for (const RuntimeKind kind :
+       {RuntimeKind::kSim, RuntimeKind::kThread, RuntimeKind::kUdp}) {
+    SCOPED_TRACE(runtime_kind_name(kind));
+    spec.runtime = kind;
+    const ScenarioTrialResult trial = run_scenario_trial(spec, 3);
+    ASSERT_TRUE(trial.completed);
+    const WallPhaseTimes& wall = trial.wall;
+    EXPECT_GT(wall.total_ms, 0.0);
+    EXPECT_GE(wall.build_ms, 0.0);
+    EXPECT_GE(wall.run_ms, 0.0);
+    EXPECT_GE(wall.settle_ms, 0.0);
+    EXPECT_NEAR(wall.build_ms + wall.run_ms + wall.settle_ms, wall.total_ms,
+                1e-6);
   }
 }
 

@@ -470,7 +470,7 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   std::ostringstream os;
   write_sweep_json(os, meta, outcomes);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v6\""),
+  EXPECT_NE(json.find("\"schema\": \"abe-scenario-sweep-v7\""),
             std::string::npos);
   EXPECT_NE(json.find("\"git_sha\": \"cafe123\""), std::string::npos);
   EXPECT_NE(json.find("\"trial_threads\": 4"), std::string::npos);
@@ -487,6 +487,8 @@ TEST(ScenarioSweep, JsonCarriesSchemaMetadataAndCells) {
   EXPECT_NE(json.find("\"metrics\": ["), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"net.sent\""), std::string::npos);
   EXPECT_NE(json.find("\"wall\": {\"build_ms\": "), std::string::npos);
+  // v7: the wall block also carries the single-read-point total.
+  EXPECT_NE(json.find("\"total_ms\": "), std::string::npos);
   // v6 causal block: per-cell critical-path attribution aggregate.
   EXPECT_NE(json.find("\"critical_path\": {\"considered\": 3"),
             std::string::npos);

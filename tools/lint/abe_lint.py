@@ -50,6 +50,13 @@ that true, so this linter enforces them:
                   happens to count things (vote tallies, round counters in
                   src/algo/, src/core/, …) is protocol logic, not
                   observability, and is out of scope by path.
+  raw-socket      No direct socket(2)/bind/sendto/recvfrom calls outside
+                  src/runtime/udp_socket.*: that wrapper is the single
+                  place the OS networking surface is touched, so loss
+                  injection, the 20 ms shutdown poll, fd hygiene and the
+                  port-budget cap stay enforceable in one file. Qualified
+                  names (std::bind, obj.bind(...)) never trip; the bare
+                  libc spellings and explicit ::socket etc. do.
 
 Suppressions (each names the rule, so waivers stay narrow):
   // abe-lint: allow(<rule>)        on the offending or preceding line
@@ -134,6 +141,15 @@ DELAY_FACTORY_RE = re.compile(
 )
 ADVERSARY_PATH_PREFIX = "src/adversary/"
 
+# --- raw-socket ------------------------------------------------------------
+
+# The libc datagram surface. `bind` is the noisy one: std::bind, member
+# .bind(...)/->bind(...) and declarations (`UdpSocket socket(...)`) are all
+# legitimate, so the check inspects what precedes the token (see
+# check_raw_socket) instead of widening the regex.
+RAW_SOCKET_RE = re.compile(r"\b(?:socket|sendto|recvfrom|bind)\s*\(")
+RAW_SOCKET_ALLOWED_PREFIX = "src/runtime/udp_socket."
+
 # --- no-adhoc-counters -----------------------------------------------------
 
 # Member declarations (trailing-underscore naming) of integral or atomic
@@ -151,7 +167,7 @@ ADHOC_COUNTER_PATH_PREFIXES = (
 )
 
 RULES = ("wall-clock", "unordered-iter", "env-read", "inline-capture",
-         "adversary-delay", "no-adhoc-counters")
+         "adversary-delay", "no-adhoc-counters", "raw-socket")
 
 
 class Finding:
@@ -334,6 +350,41 @@ def check_no_adhoc_counters(relpath, lines, add):
             )
 
 
+def check_raw_socket(relpath, lines, add):
+    if relpath.startswith(RAW_SOCKET_ALLOWED_PREFIX):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        for m in RAW_SOCKET_RE.finditer(line):
+            prefix = line[: m.start()].rstrip()
+            # Member call: someobj.bind(...) / ptr->bind(...).
+            if prefix.endswith(".") or prefix.endswith("->"):
+                continue
+            if prefix.endswith("::"):
+                qualifier = prefix[:-2].rstrip()
+                # std::bind / Socket::bind — a named scope, not libc.
+                # A bare leading :: (global namespace) IS the libc call.
+                if qualifier and (qualifier[-1].isalnum()
+                                  or qualifier[-1] in "_>"):
+                    continue
+            else:
+                # `UdpSocket socket(fd)` / `int bind(int fd);` — a type or
+                # declarator precedes the token, so this declares a
+                # variable/function rather than calling libc. Control-flow
+                # keywords still expose a real call (`return socket(...)`).
+                tok = re.search(r"[\w>]+$", prefix)
+                if tok and tok.group(0) not in ("return", "co_return",
+                                                "co_await", "case"):
+                    continue
+            add(
+                lineno,
+                "raw-socket",
+                "direct socket-API call outside src/runtime/udp_socket.*: "
+                "the UdpSocket wrapper is the single OS networking "
+                "touchpoint (loss injection, shutdown poll, fd hygiene, "
+                "port budget) — route datagram I/O through it",
+            )
+
+
 # (check, needs_string_literals) — env-read matches on the "ABE_" literal.
 CHECKS = (
     (check_wall_clock, False),
@@ -342,6 +393,7 @@ CHECKS = (
     (check_inline_capture, False),
     (check_adversary_delay, False),
     (check_no_adhoc_counters, False),
+    (check_raw_socket, False),
 )
 
 

@@ -1,0 +1,19 @@
+// abe-lint-fixture-path: src/net/rogue_transport.cpp
+// A transport layer that opens its own datagram socket instead of going
+// through the UdpSocket wrapper: every spelling here must trip.
+#include <sys/socket.h>
+
+namespace abe {
+
+int open_rogue_channel() {
+  int fd = ::socket(2, 2, 0);       // explicit global-namespace call
+  if (bind(fd, nullptr, 0) != 0) {  // bare libc spelling
+    return -1;
+  }
+  sendto(fd, "x", 1, 0, nullptr, 0);
+  char buf[16];
+  recvfrom(fd, buf, sizeof(buf), 0, nullptr, nullptr);
+  return fd;
+}
+
+}  // namespace abe
